@@ -1,0 +1,58 @@
+// Command fleetsim runs the §4.8 large-scale deployment simulation:
+// CorrOpt vs LinkGuardian+CorrOpt on a Facebook-fabric topology under a
+// synthetic corruption trace, reporting the Figure 15 time series and the
+// Figure 16 distributions.
+//
+// Usage:
+//
+//	fleetsim [-pods 256] [-days 365] [-constraint 0.75] [-sample 6h]
+//	         [-seed 1] [-series]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"linkguardian/internal/experiments"
+)
+
+func main() {
+	pods := flag.Int("pods", 256, "fabric pods (256 = ~100K links, the paper's scale)")
+	days := flag.Int("days", 365, "simulated horizon in days")
+	constraint := flag.Float64("constraint", 0.75, "capacity constraint (least paths per ToR)")
+	sample := flag.Duration("sample", 6*time.Hour, "metric sampling interval")
+	seed := flag.Int64("seed", 1, "trace seed")
+	series := flag.Bool("series", false, "print the full Figure 15 time series")
+	flag.Parse()
+
+	opts := experiments.FleetOpts{
+		Pods:        *pods,
+		Horizon:     time.Duration(*days) * 24 * time.Hour,
+		SampleEvery: *sample,
+		Seed:        *seed,
+	}
+	fc := experiments.RunFleet(*constraint, opts)
+	fmt.Printf("fabric: %d links, constraint %.0f%%, horizon %dd\n", fc.Links, *constraint*100, *days)
+	fmt.Println(fc)
+
+	fmt.Println("\nFigure 16a — gain in total penalty (vanilla/combined):")
+	for _, p := range []float64{10, 25, 50, 75, 90, 99} {
+		fmt.Printf("  p%-4g %.4g\n", p, fc.PenaltyGain.Percentile(p))
+	}
+	fmt.Println("Figure 16b — decrease in least capacity per pod (percent points):")
+	for _, p := range []float64{50, 90, 99, 100} {
+		fmt.Printf("  p%-4g %.4f\n", p, fc.CapacityDecreasePP.Percentile(p))
+	}
+
+	if *series {
+		fmt.Println("\nFigure 15 series (day, penaltyV, penaltyC, pathsV, pathsC, capV, capC, LG links, maxLG/pipe):")
+		for i := range fc.Vanilla {
+			v, c := fc.Vanilla[i], fc.Combined[i]
+			fmt.Printf("%7.2f  %10.3e  %10.3e  %6.4f  %6.4f  %6.4f  %6.4f  %4d  %2d\n",
+				v.At.Hours()/24, v.TotalPenalty, c.TotalPenalty,
+				v.LeastPaths, c.LeastPaths, v.LeastPodCap, c.LeastPodCap,
+				c.LGActive, c.MaxLGPerPipe)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+// Shortflows: the tail-FCT experiment that motivates the paper (§1, §4.3).
+//
+// Datacenter RPCs are tiny — most fit in one packet — so a corrupted packet
+// is usually the *last* packet of its flow, and only a retransmission
+// timeout can recover it end-to-end. This example measures the FCT tail of
+// 143-byte RPCs (the modal Google RPC size) over DCTCP and RDMA on a lossy
+// 100G link, with and without LinkGuardian.
+//
+// Run with: go run ./examples/shortflows
+package main
+
+import (
+	"fmt"
+
+	"linkguardian/internal/experiments"
+)
+
+func main() {
+	const trials = 10000
+	opts := experiments.DefaultFCTOpts(143)
+	opts.Trials = trials
+
+	fmt.Printf("%d sequential 143B flows on a 100G link, corruption loss 1e-3\n\n", trials)
+	fmt.Println("transport  link            p50        p99      p99.9     p99.99   (µs)")
+	for _, tr := range []experiments.Transport{experiments.TransDCTCP, experiments.TransRDMA} {
+		for _, prot := range []experiments.Protection{
+			experiments.NoLoss, experiments.LossOnly, experiments.LG, experiments.LGNB,
+		} {
+			r := experiments.RunFCT(tr, prot, opts)
+			fmt.Printf("%-9v  %-8v  %9.1f  %9.1f  %9.1f  %9.1f\n",
+				tr, prot, r.P(50), r.P(99), r.P(99.9), r.P(99.99))
+		}
+		fmt.Println()
+	}
+	fmt.Println("The 'loss' rows hit the ~1ms RTO at the tail; LinkGuardian recovers at")
+	fmt.Println("sub-RTT timescales, keeping the tail indistinguishable from 'no-loss'.")
+}

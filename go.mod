@@ -1,0 +1,3 @@
+module linkguardian
+
+go 1.22

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+
+	"linkguardian/internal/simnet"
+	"linkguardian/internal/simtime"
+)
+
+// Per-class protection (§5): Ordered for "RDMA-like" traffic (even flow
+// IDs), NonBlocking for the rest, simultaneously on one corrupting link.
+func TestPerClassDualMode(t *testing.T) {
+	tb := newTestbed(t, simtime.Rate25G, NewConfig(simtime.Rate25G, 1e-2))
+	// Drop the testbed's built-in instance; install the dual pair.
+	// (The built-in one was never enabled, so it stays dormant and its
+	// hooks pass everything through.)
+	isOrderedClass := func(p *simnet.Packet) bool { return p.FlowID%2 == 0 }
+	cfgA := NewConfig(simtime.Rate25G, 1e-2) // Ordered
+	cfgB := NewConfig(simtime.Rate25G, 1e-2)
+	cfgB.Mode = NonBlocking
+	lgA, lgB := ProtectClasses(tb.sim, tb.link.A(), cfgA, cfgB, isOrderedClass)
+	lgA.Enable()
+	lgB.Enable()
+	tb.link.SetLoss(tb.link.A(), simnet.IIDLoss{P: 1e-2})
+
+	const n = 6000
+	tb.sendBurst(0, n, 1200)
+	tb.runFor(40 * simtime.Millisecond)
+
+	if got := len(tb.recvSeqs); got != n {
+		t.Fatalf("delivered %d/%d", got, n)
+	}
+	// Split the delivery order by class: the ordered class must be in
+	// order; the NB class may be reordered but must be complete.
+	var ordered, nb []int
+	for _, id := range tb.recvSeqs {
+		if id%2 == 0 {
+			ordered = append(ordered, id)
+		} else {
+			nb = append(nb, id)
+		}
+	}
+	if len(ordered) != n/2 || len(nb) != n/2 {
+		t.Fatalf("class split %d/%d, want %d each", len(ordered), len(nb), n/2)
+	}
+	if !inOrder(ordered) {
+		t.Fatal("ordered class was reordered")
+	}
+	if !noDuplicates(nb) {
+		t.Fatal("NB class delivered duplicates")
+	}
+	// Both instances actually worked their own losses.
+	if lgA.M.Retransmits == 0 || lgB.M.Retransmits == 0 {
+		t.Fatalf("retransmits split %d/%d — a class went unprotected",
+			lgA.M.Retransmits, lgB.M.Retransmits)
+	}
+	// Channel separation: each instance protected exactly its class.
+	if lgA.M.Protected != n/2 || lgB.M.Protected != n/2 {
+		t.Fatalf("protected split %d/%d, want %d each", lgA.M.Protected, lgB.M.Protected, n/2)
+	}
+	// Only the ordered channel uses the reordering buffer.
+	if lgB.M.ReceiverLoops != 0 {
+		t.Fatal("NB channel used a reordering buffer")
+	}
+	if lgA.M.ReceiverLoops == 0 {
+		t.Fatal("ordered channel never buffered despite 1% loss")
+	}
+}
+
+// For headers of different channels to coexist, the dormant default
+// instance on the testbed must not interfere.
+func TestPerClassDormantBystander(t *testing.T) {
+	tb := newTestbed(t, simtime.Rate25G, NewConfig(simtime.Rate25G, 1e-3))
+	cfgA := NewConfig(simtime.Rate25G, 1e-3)
+	cfgB := NewConfig(simtime.Rate25G, 1e-3)
+	_, lgB := ProtectClasses(tb.sim, tb.link.A(), cfgA, cfgB,
+		func(p *simnet.Packet) bool { return false })
+	lgB.Enable() // only class B active; class A packets pass unprotected
+	dropDataNth(tb.link, tb.link.A(), 5)
+	tb.sendBurst(0, 100, 1200)
+	tb.runFor(10 * simtime.Millisecond)
+	if len(tb.recvSeqs) != 100 {
+		t.Fatalf("delivered %d/100", len(tb.recvSeqs))
+	}
+	if lgB.M.Protected != 100 {
+		t.Fatalf("class B protected %d, want all 100", lgB.M.Protected)
+	}
+}

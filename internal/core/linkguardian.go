@@ -1,0 +1,253 @@
+package core
+
+import (
+	"linkguardian/internal/seqnum"
+	"linkguardian/internal/simnet"
+	"linkguardian/internal/simtime"
+)
+
+// Instance is one LinkGuardian protocol instance protecting one direction
+// of one link: the direction transmitted by the sender interface passed to
+// Protect. The reverse direction carries ACKs, loss notifications and
+// PFC pause/resume frames and is assumed lossless (the paper's
+// unidirectional-corruption assumption, §3; 91.8% of corrupting links in
+// production corrupt one direction only).
+type Instance struct {
+	sim *simnet.Sim
+	cfg Config
+
+	// M exposes protocol instrumentation. Read-only for callers.
+	M Metrics
+
+	sendIfc *simnet.Ifc // sender switch egress on the protected link
+	recvIfc *simnet.Ifc // receiver switch side of the same link
+
+	enabled  bool
+	draining bool // Disable called; flush in-flight state
+
+	// Sender state (Figure 17).
+	nextSeq        seqnum.Seq
+	lastTx         seqnum.Seq // last protected seqNo put on the wire
+	senderLatestRx seqnum.Seq // sender's copy of latestRxSeqNo
+	txBuf          map[seqnum.Seq]*txEntry
+	copies         int // N from Equation 2
+
+	// Receiver state.
+	latestRx seqnum.Seq // highest seqNo seen
+	// ackView is the latestRx value visible to the ACK-stamping egress
+	// logic: it trails latestRx by one pipeline traversal, exactly like
+	// the loss-notification mirror. This matters for correctness — an ACK
+	// covering a lost seqNo must never overtake the loss notification, or
+	// the sender would flush the buffered copy before learning it has to
+	// retransmit it.
+	ackView    seqnum.Seq
+	ackNo      seqnum.Seq // next seqNo to forward (Ordered mode)
+	missing    map[seqnum.Seq]*lossRecord
+	notified   seqnum.Seq // highest seqNo ever included in a loss notification
+	recirc     *simnet.Ifc
+	peerSender *Instance // other direction's instance (bidirectional, §5)
+	rxHeld     int       // bytes currently held in the reordering buffer
+	paused     bool      // curr_state of Algorithm 2
+	stallArmed bool      // an ackNoTimeout watch is pending
+
+	dummySeeded, ackSeeded bool
+	dummyOut, ackOut       int // our packets pending in the shared low-prio queues
+
+	// forwardHook observes packets at the instant they are forwarded
+	// onward, before header stripping. Tests use it to check ordering
+	// invariants at the protocol boundary.
+	forwardHook func(*simnet.Packet)
+}
+
+// txEntry is one buffered protected packet circulating in the sender's
+// recirculation-based Tx buffer (Appendix A.2). The recirculation itself is
+// modeled analytically: the entry can be acted upon (retransmitted or
+// dropped) only at loop-completion boundaries.
+type txEntry struct {
+	pkt      *simnet.Packet
+	insertAt simtime.Time
+	loop     simtime.Duration
+	released bool
+	retxReq  bool // reTxReqs bit set for this seqNo
+}
+
+// lossRecord tracks one missing sequence number at the receiver.
+type lossRecord struct {
+	detectedAt simtime.Time
+}
+
+// Protect creates a LinkGuardian instance for the direction transmitted by
+// sendIfc. The instance starts disabled (dormant, imposing no cost);
+// call Enable to activate it, as corruptd does when the link starts
+// corrupting packets.
+func Protect(sim *simnet.Sim, sendIfc *simnet.Ifc, cfg Config) *Instance {
+	if cfg.DummyCopies <= 0 {
+		cfg.DummyCopies = 1
+	}
+	if cfg.MaxConsecutiveLoss <= 0 {
+		cfg.MaxConsecutiveLoss = 5
+	}
+	if cfg.RecircPorts <= 0 {
+		cfg.RecircPorts = 1
+	}
+	if cfg.CtrlCopies <= 0 {
+		cfg.CtrlCopies = 1
+	}
+	g := &Instance{
+		sim:     sim,
+		cfg:     cfg,
+		sendIfc: sendIfc,
+		recvIfc: sendIfc.Peer(),
+		txBuf:   map[seqnum.Seq]*txEntry{},
+		missing: map[seqnum.Seq]*lossRecord{},
+		copies:  cfg.Copies(),
+	}
+	if cfg.Mode == Ordered {
+		if cfg.RecircLoopLatency <= 0 {
+			cfg.RecircLoopLatency = cfg.PipelineLatency
+		}
+		aggregate := cfg.RecircRate * simtime.Rate(cfg.RecircPorts)
+		g.recirc = simnet.Loopback(sim, g.recvIfc.Node(), aggregate, cfg.RecircLoopLatency)
+		g.recirc.Peer().OnIngress = g.onRecirc
+	}
+	g.installHooks()
+	return g
+}
+
+// Config returns the instance's configuration.
+func (g *Instance) Config() Config { return g.cfg }
+
+// Copies returns the number of retransmitted copies N in use.
+func (g *Instance) Copies() int { return g.copies }
+
+// Enabled reports whether the instance is active.
+func (g *Instance) Enabled() bool { return g.enabled }
+
+// SetMeasuredLossRate updates the link's measured corruption loss rate (as
+// reported by the monitoring daemon) and re-derives the number of
+// retransmitted copies from Equation 2. It may be called at any time;
+// corruptd uses it just before Enable.
+func (g *Instance) SetMeasuredLossRate(rate float64) {
+	g.cfg.ActualLossRate = rate
+	g.copies = g.cfg.Copies()
+}
+
+// Enable activates protection: from this point every packet egressing the
+// protected direction is stamped, buffered and recoverable. Both ends
+// initialize their sequence state consistently, as the control plane does
+// during bootstrapping (§3.5).
+func (g *Instance) Enable() {
+	if g.enabled {
+		return
+	}
+	g.enabled = true
+	g.draining = false
+	clear(g.txBuf)
+	clear(g.missing)
+	g.stallArmed = false
+	start := seqnum.Seq{N: 1}
+	g.nextSeq = start
+	g.lastTx = start.Add(-1)
+	g.senderLatestRx = g.lastTx
+	g.latestRx = g.lastTx
+	g.ackView = g.lastTx
+	g.ackNo = start
+	g.notified = g.lastTx
+	g.paused = false
+	g.rxHeld = 0
+	if g.cfg.TailLossDetection {
+		g.seedDummies()
+	}
+	g.seedAcks()
+}
+
+// Disable deactivates protection. In-flight protected packets and buffered
+// state drain: recirculating packets are forwarded (order no longer
+// enforced), Tx-buffer entries are dropped, and the self-replenishing
+// queues stop refilling.
+func (g *Instance) Disable() {
+	if !g.enabled {
+		return
+	}
+	g.enabled = false
+	g.draining = true
+	for seq, e := range g.txBuf {
+		g.releaseEntry(seq, e, g.sim.Now())
+	}
+	if g.paused {
+		g.sendPFC(simnet.KindResume)
+		g.paused = false
+	}
+}
+
+func (g *Instance) installHooks() {
+	chainIngress(g.sendIfc, g.onReverse)
+	chainIngress(g.recvIfc, g.onProtected)
+	// Protected packets are stamped and mirrored in the egress pipeline,
+	// i.e. at dequeue time (Appendix A.2). Stamping at wire time — rather
+	// than enqueue — means the Tx buffer holds packets only for the ACK
+	// round trip, not for time spent in the egress queue, and guarantees
+	// dummies (which keep flowing while the normal queue is PFC-paused)
+	// never announce a seqNo that has not actually been transmitted.
+	chainDequeue(g.sendIfc.Port.Q(simnet.PrioNormal), g.stampAtWire)
+	// Piggyback the cumulative ACK on reverse-direction normal traffic,
+	// stamped at wire time (§3.1).
+	chainDequeue(g.recvIfc.Port.Q(simnet.PrioNormal), func(pkt *simnet.Packet) {
+		if !g.enabled || pkt.Kind != simnet.KindData || pkt.LGAck != nil {
+			// One piggybacked ACK per packet: under per-class protection
+			// the first instance wins and the other channel relies on its
+			// explicit-ACK stream.
+			return
+		}
+		pkt.LGAck = &simnet.LGAck{LatestRx: g.ackView, Chan: g.cfg.Channel, Valid: true}
+		pkt.Size += simnet.LGHeaderBytes
+		g.M.AcksPiggybacked++
+	})
+}
+
+// chainIngress appends an ingress hook after any existing one, so two
+// instances — one per direction under bidirectional protection (§5) — can
+// share an interface. An earlier hook that consumes the packet wins.
+func chainIngress(ifc *simnet.Ifc, fn func(*simnet.Packet) bool) {
+	prev := ifc.OnIngress
+	if prev == nil {
+		ifc.OnIngress = fn
+		return
+	}
+	ifc.OnIngress = func(p *simnet.Packet) bool {
+		if prev(p) {
+			return true
+		}
+		return fn(p)
+	}
+}
+
+// chainDequeue appends a wire-time stamping hook after any existing one —
+// under bidirectional protection a normal queue both stamps its own
+// direction's data header and piggybacks the reverse direction's ACK.
+func chainDequeue(q *simnet.Queue, fn func(*simnet.Packet)) {
+	prev := q.OnDequeue
+	if prev == nil {
+		q.OnDequeue = fn
+		return
+	}
+	q.OnDequeue = func(p *simnet.Packet) {
+		prev(p)
+		fn(p)
+	}
+}
+
+// quantize rounds an instant up to the next timer-packet tick (§3.5:
+// timekeeping uses the switch packet generator's 10Mpps timer stream).
+func (g *Instance) quantize(t simtime.Time) simtime.Time {
+	q := int64(g.cfg.TimerQuantum)
+	if q <= 0 {
+		return t
+	}
+	return simtime.Time((int64(t) + q - 1) / q * q)
+}
+
+// atQuantized schedules fn at the timer tick at or after now+d.
+func (g *Instance) atQuantized(d simtime.Duration, fn func()) {
+	g.sim.At(g.quantize(g.sim.Now().Add(d)), fn)
+}

@@ -1,0 +1,52 @@
+package core
+
+import "linkguardian/internal/simtime"
+
+// Metrics exposes the instrumentation the paper's evaluation reads: buffer
+// occupancy (Figure 14), retransmission delays (Figure 19), ackNoTimeout
+// counts (§4.1), recirculation overhead (Table 4) and protocol activity
+// counters.
+type Metrics struct {
+	// Sender side.
+	Protected    uint64 // packets stamped and transmitted
+	Retransmits  uint64 // retransmission events (one per lost packet)
+	RetxCopies   uint64 // total retransmitted copies placed on the wire
+	DummiesSent  uint64
+	TxBufBytes   int    // current Tx buffer occupancy (gauge)
+	TxBufPeak    int    // high-water mark
+	TxBufDrops   uint64 // packets not buffered because the cap was hit
+	SenderLoops  uint64 // Tx-buffer recirculation loop count (Table 4)
+	AcksReceived uint64
+
+	// Receiver side.
+	Delivered       uint64 // protected packets forwarded onward
+	Duplicates      uint64 // de-duplicated extra retransmission copies
+	LossEvents      uint64 // detected gap events
+	LostPackets     uint64 // individual missing sequence numbers notified
+	TailDetections  uint64 // losses detected via dummy packets
+	Timeouts        uint64 // ackNoTimeout firings (§4.1 "Timeouts in practice")
+	Unrecovered     uint64 // packets abandoned (timeout in Ordered, never seen in NB)
+	RxBufBytes      int    // reordering-buffer occupancy (gauge)
+	RxBufPeak       int
+	RxBufOverflows  uint64 // reordering-buffer tail drops (Figure 9b)
+	ReceiverLoops   uint64 // reordering-buffer recirculation loops (Table 4)
+	Pauses, Resumes uint64
+	AcksSent        uint64 // explicit ACK packets
+	AcksPiggybacked uint64
+
+	// RetxDelays samples the receiver-observed delay from loss detection
+	// to successful receipt of the retransmission (Figure 19).
+	RetxDelays []simtime.Duration
+}
+
+// RecircOverhead returns sender- and receiver-side recirculation overheads
+// as fractions of the switch pipeline's packet processing capacity over an
+// observation window (Table 4).
+func (m *Metrics) RecircOverhead(window simtime.Duration, capacityPps float64) (tx, rx float64) {
+	if window <= 0 || capacityPps <= 0 {
+		return 0, 0
+	}
+	secs := window.Seconds()
+	return float64(m.SenderLoops) / secs / capacityPps,
+		float64(m.ReceiverLoops) / secs / capacityPps
+}

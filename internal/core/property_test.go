@@ -1,0 +1,153 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"linkguardian/internal/simnet"
+	"linkguardian/internal/simtime"
+)
+
+// The property tests drive the protocol with adversarial random loss —
+// original packets and retransmitted copies alike — and check the
+// invariants that define LinkGuardian's correctness:
+//
+//  1. Ordered mode never reorders: the delivered FlowIDs are strictly
+//     increasing.
+//  2. No duplicates ever reach the host, in either mode.
+//  3. Conservation: every protected packet is either delivered or counted
+//     (unrecovered / overflow); nothing vanishes.
+
+type propOutcome struct {
+	delivered []int
+	m         *Metrics
+	sent      int
+}
+
+// runProperty sends `burst` packets through the testbed while a seeded RNG
+// drops data frames with probability pData and retransmitted copies with
+// probability pRetx.
+func runProperty(seed int64, mode Mode, burst int, pData, pRetx float64) propOutcome {
+	cfg := NewConfig(simtime.Rate25G, pData)
+	cfg.Mode = mode
+	tb := &testbed{sim: simnet.NewSim(seed)}
+	s := tb.sim
+	tb.h1 = simnet.NewHost(s, "h1")
+	tb.h2 = simnet.NewHost(s, "h2")
+	tb.h1.StackDelay, tb.h2.StackDelay = 0, 0
+	tb.sw2 = simnet.NewSwitch(s, "sw2")
+	tb.sw6 = simnet.NewSwitch(s, "sw6")
+	l1 := simnet.Connect(s, tb.h1, tb.sw2, simtime.Rate25G, 50*simtime.Nanosecond)
+	tb.link = simnet.Connect(s, tb.sw2, tb.sw6, simtime.Rate25G, 100*simtime.Nanosecond)
+	l2 := simnet.Connect(s, tb.sw6, tb.h2, simtime.Rate25G, 50*simtime.Nanosecond)
+	tb.sw2.AddRoute("h2", tb.link.A())
+	tb.sw2.AddRoute("h1", l1.B())
+	tb.sw6.AddRoute("h2", l2.A())
+	tb.sw6.AddRoute("h1", tb.link.B())
+	var delivered []int
+	tb.h2.OnReceive = func(p *simnet.Packet) { delivered = append(delivered, p.FlowID) }
+	tb.lg = Protect(s, tb.link.A(), cfg)
+	tb.lg.Enable()
+
+	dropRng := rand.New(rand.NewSource(seed * 7919))
+	tb.link.DropFn = func(p *simnet.Packet, f *simnet.Ifc) bool {
+		if f != tb.link.A() || p.LG == nil || p.LG.Dummy {
+			return false
+		}
+		if p.LG.Retx {
+			return dropRng.Float64() < pRetx
+		}
+		return dropRng.Float64() < pData
+	}
+	tb.sendBurst(0, burst, 600)
+	tb.runFor(50 * simtime.Millisecond)
+	return propOutcome{delivered: delivered, m: &tb.lg.M, sent: burst}
+}
+
+func strictlyIncreasing(xs []int) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+func noDuplicates(xs []int) bool {
+	seen := map[int]bool{}
+	for _, x := range xs {
+		if seen[x] {
+			return false
+		}
+		seen[x] = true
+	}
+	return true
+}
+
+func TestPropertyOrderedInvariants(t *testing.T) {
+	f := func(seedRaw uint16, lossSel, retxSel uint8) bool {
+		seed := int64(seedRaw) + 1
+		pData := []float64{0.001, 0.01, 0.05}[int(lossSel)%3]
+		pRetx := []float64{0, 0.05, 0.5}[int(retxSel)%3]
+		out := runProperty(seed, Ordered, 300, pData, pRetx)
+		if !strictlyIncreasing(out.delivered) {
+			t.Logf("reordered: seed=%d pData=%v pRetx=%v", seed, pData, pRetx)
+			return false
+		}
+		// Conservation after drain: delivered + unrecovered + overflow
+		// losses account for every protected packet.
+		accounted := uint64(len(out.delivered)) + out.m.Unrecovered + out.m.RxBufOverflows
+		if accounted != out.m.Protected {
+			t.Logf("conservation: delivered=%d unrec=%d overflow=%d protected=%d",
+				len(out.delivered), out.m.Unrecovered, out.m.RxBufOverflows, out.m.Protected)
+			return false
+		}
+		return out.m.Protected == uint64(out.sent)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyNonBlockingInvariants(t *testing.T) {
+	f := func(seedRaw uint16, lossSel, retxSel uint8) bool {
+		seed := int64(seedRaw) + 1
+		pData := []float64{0.001, 0.01, 0.05}[int(lossSel)%3]
+		pRetx := []float64{0, 0.05, 0.5}[int(retxSel)%3]
+		out := runProperty(seed, NonBlocking, 300, pData, pRetx)
+		if !noDuplicates(out.delivered) {
+			t.Logf("duplicates: seed=%d pData=%v pRetx=%v", seed, pData, pRetx)
+			return false
+		}
+		accounted := uint64(len(out.delivered)) + out.m.Unrecovered
+		if accounted != out.m.Protected {
+			t.Logf("conservation: delivered=%d unrec=%d protected=%d",
+				len(out.delivered), out.m.Unrecovered, out.m.Protected)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// With no retransmission loss, recovery must be complete: every packet is
+// eventually delivered regardless of the data loss pattern (up to the
+// consecutive-loss provisioning).
+func TestPropertyCompleteRecovery(t *testing.T) {
+	f := func(seedRaw uint16, modeSel bool) bool {
+		seed := int64(seedRaw) + 1
+		mode := Ordered
+		if modeSel {
+			mode = NonBlocking
+		}
+		out := runProperty(seed, mode, 300, 0.01, 0)
+		// At 1% iid loss, runs longer than 5 are ~1e-10: full delivery.
+		return len(out.delivered) == out.sent
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"linkguardian/internal/seqnum"
+	"linkguardian/internal/simnet"
+	"linkguardian/internal/simtime"
+)
+
+// stampAtWire runs in the sender's egress pipeline as a packet is dequeued
+// for transmission on the protected link: it adds the LinkGuardian data
+// header with a fresh seqNo and uses egress mirroring to buffer a copy
+// (Appendix A.1/A.2). Stamping happens at wire time — after any queueing —
+// so the Tx buffer holds a packet only for the ACK round trip, not for time
+// spent in the egress queue.
+func (g *Instance) stampAtWire(pkt *simnet.Packet) {
+	if !g.enabled || pkt.Kind != simnet.KindData || pkt.LG != nil {
+		return
+	}
+	if g.cfg.ClassMatch != nil && !g.cfg.ClassMatch(pkt) {
+		return // another instance's class, or unprotected
+	}
+	seq := g.nextSeq
+	g.nextSeq = seq.Next()
+	pkt.LG = &simnet.LGData{Seq: seq, Chan: g.cfg.Channel}
+	pkt.Size += simnet.LGHeaderBytes
+	g.lastTx = seq
+	g.buffer(pkt, seq)
+	g.M.Protected++
+}
+
+// loopTime is one recirculation loop for a packet of the given frame size:
+// a pipeline traversal plus serialization at the recirculation port.
+func (g *Instance) loopTime(size int) simtime.Duration {
+	return g.cfg.PipelineLatency + g.cfg.RecircRate.Serialize(simtime.WireBytes(size))
+}
+
+// buffer places a copy of a protected packet into the recirculating Tx
+// buffer (egress mirroring, Appendix A.2). If the recirculation buffer cap
+// is reached the copy is not stored; the packet is then unprotected.
+func (g *Instance) buffer(pkt *simnet.Packet, seq seqnum.Seq) {
+	if g.M.TxBufBytes+pkt.Size > g.cfg.RecircBufBytes {
+		g.M.TxBufDrops++
+		return
+	}
+	e := &txEntry{
+		pkt:      pkt.Clone(g.sim),
+		insertAt: g.sim.Now(),
+		loop:     g.loopTime(pkt.Size),
+	}
+	g.txBuf[seq] = e
+	g.M.TxBufBytes += pkt.Size
+	if g.M.TxBufBytes > g.M.TxBufPeak {
+		g.M.TxBufPeak = g.M.TxBufBytes
+	}
+}
+
+// releaseBoundary returns the instant at which a buffered copy can next be
+// acted upon (dropped or retransmitted), and the recirculation loops it has
+// consumed by then. On Tofino the copy is only examined at its next
+// recirculation-loop completion — this is what makes recirculation-based
+// retransmission take microseconds (§5); with Tofino2-style buffering the
+// copy sits in a paused queue and is available immediately at zero
+// recirculation cost.
+func (g *Instance) releaseBoundary(e *txEntry, t simtime.Time) (simtime.Time, uint64) {
+	if g.cfg.Tofino2Buffering {
+		return t, 0
+	}
+	return e.nextLoopBoundary(t)
+}
+
+// nextLoopBoundary returns the first loop-completion instant of e at or
+// after t, and the number of loops completed by then.
+func (e *txEntry) nextLoopBoundary(t simtime.Time) (simtime.Time, uint64) {
+	elapsed := t.Sub(e.insertAt)
+	k := int64(elapsed)/int64(e.loop) + 1
+	if int64(elapsed)%int64(e.loop) == 0 && k > 1 {
+		k--
+	}
+	if k < 1 {
+		k = 1
+	}
+	return e.insertAt.Add(simtime.Duration(k * int64(e.loop))), uint64(k)
+}
+
+// releaseEntry removes a buffered packet, accounting its recirculation
+// loops.
+func (g *Instance) releaseEntry(seq seqnum.Seq, e *txEntry, at simtime.Time) {
+	if e.released {
+		return
+	}
+	e.released = true
+	_, loops := e.nextLoopBoundary(at)
+	g.M.SenderLoops += loops
+	g.M.TxBufBytes -= e.pkt.Size
+	delete(g.txBuf, seq)
+}
+
+// onReverse runs at the sender's ingress for packets arriving from the
+// receiver switch: it consumes explicit ACKs and loss notifications, strips
+// piggybacked ACK headers, and lets regular reverse traffic continue into
+// the switch pipeline.
+func (g *Instance) onReverse(pkt *simnet.Packet) bool {
+	if !g.enabled {
+		return false
+	}
+	switch pkt.Kind {
+	case simnet.KindLGAck:
+		if pkt.LGAck == nil || pkt.LGAck.Chan != g.cfg.Channel {
+			return false // another channel's ACK
+		}
+		if pkt.LGAck.Valid {
+			g.handleAck(pkt.LGAck.LatestRx)
+		}
+		return true
+	case simnet.KindLossNotif:
+		if pkt.Notif == nil || pkt.Notif.Chan != g.cfg.Channel {
+			return false
+		}
+		g.handleNotif(pkt.Notif)
+		return true
+	}
+	if pkt.LGAck != nil && pkt.LGAck.Valid && pkt.LGAck.Chan == g.cfg.Channel {
+		g.handleAck(pkt.LGAck.LatestRx)
+		pkt.LGAck = nil
+		pkt.Size -= simnet.LGHeaderBytes
+	}
+	return false
+}
+
+// handleAck advances the sender's copy of latestRxSeqNo and schedules the
+// drop of successfully delivered buffered packets at their next loop
+// boundary (Figure 18: seqNo <= latestRxSeqNo and no retransmission
+// requested → drop).
+func (g *Instance) handleAck(latestRx seqnum.Seq) {
+	g.M.AcksReceived++
+	if seqnum.LessEq(latestRx, g.senderLatestRx) {
+		return
+	}
+	g.senderLatestRx = latestRx
+	now := g.sim.Now()
+	for seq, e := range g.txBuf {
+		if e.released || e.retxReq || seqnum.Less(latestRx, seq) {
+			continue
+		}
+		e.released = true // claim now; account at the loop boundary
+		seq, e := seq, e
+		at, loops := g.releaseBoundary(e, now)
+		g.sim.At(at, func() {
+			g.M.SenderLoops += loops
+			g.M.TxBufBytes -= e.pkt.Size
+			delete(g.txBuf, seq)
+		})
+	}
+}
+
+// handleNotif processes a loss notification: for every missing seqNo whose
+// buffered copy exists, N copies are retransmitted through the strict
+// high-priority queue at the entry's next recirculation-loop boundary
+// (§3.4, Appendix A.2).
+func (g *Instance) handleNotif(n *simnet.LossNotif) {
+	now := g.sim.Now()
+	for _, seq := range n.Missing {
+		e, ok := g.txBuf[seq]
+		if !ok || e.released || e.retxReq {
+			continue
+		}
+		e.retxReq = true
+		seq, e := seq, e
+		at, loops := g.releaseBoundary(e, now)
+		g.sim.At(at, func() {
+			g.M.Retransmits++
+			for i := 0; i < g.copies; i++ {
+				c := e.pkt.Clone(g.sim)
+				c.LG.Retx = true
+				c.Prio = simnet.PrioHigh
+				g.M.RetxCopies++
+				g.sendIfc.EnqueueDirect(c)
+			}
+			e.released = true
+			g.M.SenderLoops += loops
+			g.M.TxBufBytes -= e.pkt.Size
+			delete(g.txBuf, seq)
+		})
+	}
+	// The notification also carries the post-gap latestRxSeqNo.
+	g.handleAck(n.LatestRx)
+}
+
+// seedDummies bootstraps the self-replenishing dummy-packet queue (§3.2):
+// a strictly lowest-priority queue whose packets carry the last transmitted
+// seqNo, letting the receiver detect tail losses without a timeout. The
+// queue is replenished (paced) after each transmission; multiple copies per
+// round survive bursty loss of the dummy itself (§5).
+func (g *Instance) seedDummies() {
+	q := g.sendIfc.Port.Q(simnet.PrioLow)
+	if !g.dummySeeded {
+		g.dummySeeded = true
+		chainDequeue(q, func(pkt *simnet.Packet) {
+			if pkt.LG == nil || !pkt.LG.Dummy || pkt.LG.Chan != g.cfg.Channel {
+				return // another channel's dummy on the shared queue
+			}
+			// Stamp the freshest lastTx at wire time.
+			pkt.LG.LastTx = g.lastTx
+			g.dummyOut--
+			g.M.DummiesSent++
+			g.sim.After(g.cfg.DummyInterval, g.replenishDummies)
+		})
+	}
+	g.replenishDummies()
+}
+
+func (g *Instance) replenishDummies() {
+	if !g.enabled || !g.cfg.TailLossDetection {
+		return
+	}
+	// Replenish only our own channel's dummies; the PrioLow queue may be
+	// shared with another instance's under per-class protection.
+	if g.dummyOut > 0 {
+		return
+	}
+	for i := 0; i < g.cfg.DummyCopies; i++ {
+		d := &simnet.Packet{
+			Kind: simnet.KindDummy,
+			Size: simtime.MinFrame,
+			Prio: simnet.PrioLow,
+			LG:   &simnet.LGData{Dummy: true, Chan: g.cfg.Channel},
+		}
+		g.dummyOut++
+		g.sendIfc.EnqueueDirect(d)
+	}
+}

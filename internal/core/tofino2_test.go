@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"linkguardian/internal/simnet"
+	"linkguardian/internal/simtime"
+)
+
+// The Tofino2-style buffering of §5 releases retransmissions immediately
+// instead of waiting for a recirculation-loop boundary, and buffered copies
+// consume no pipeline capacity.
+func TestTofino2FasterRecovery(t *testing.T) {
+	run := func(tofino2 bool) *Metrics {
+		cfg := NewConfig(simtime.Rate100G, 1e-4)
+		cfg.Tofino2Buffering = tofino2
+		tb := newTestbed(t, simtime.Rate100G, cfg)
+		tb.lg.Enable()
+		dropDataNth(tb.link, tb.link.A(), 10, 40, 70)
+		tb.sendBurst(0, 100, 1400)
+		tb.runFor(5 * simtime.Millisecond)
+		if len(tb.recvSeqs) != 100 || !inOrder(tb.recvSeqs) {
+			t.Fatalf("tofino2=%v: delivered %d, ordered %v", tofino2, len(tb.recvSeqs), inOrder(tb.recvSeqs))
+		}
+		return &tb.lg.M
+	}
+	t1 := run(false)
+	t2 := run(true)
+	if len(t1.RetxDelays) != 3 || len(t2.RetxDelays) != 3 {
+		t.Fatalf("recoveries: %d vs %d, want 3 each", len(t1.RetxDelays), len(t2.RetxDelays))
+	}
+	for i := range t2.RetxDelays {
+		if t2.RetxDelays[i] >= t1.RetxDelays[i] {
+			t.Fatalf("tofino2 recovery %d not faster: %v vs %v", i, t2.RetxDelays[i], t1.RetxDelays[i])
+		}
+	}
+	// No recirculation cost for retransmission on Tofino2.
+	if t2.SenderLoops != 0 {
+		t.Fatalf("tofino2 consumed %d sender recirculation loops, want 0", t2.SenderLoops)
+	}
+	if t1.SenderLoops == 0 {
+		t.Fatal("tofino recirculation loops not accounted")
+	}
+}
+
+// The ackView race-protection must hold for Tofino2 too: a covering ACK
+// arriving with the notification in flight must not flush the buffered copy
+// before the reTxReqs update lands.
+func TestTofino2AckRace(t *testing.T) {
+	cfg := NewConfig(simtime.Rate100G, 1e-3)
+	cfg.Tofino2Buffering = true
+	tb := newTestbed(t, simtime.Rate100G, cfg)
+	tb.lg.Enable()
+	tb.link.SetLoss(tb.link.A(), simnet.IIDLoss{P: 1e-2})
+	tb.sendBurst(0, 20000, 1400)
+	tb.runFor(20 * simtime.Millisecond)
+	m := &tb.lg.M
+	if m.Retransmits < uint64(float64(m.LostPackets)*0.95) {
+		t.Fatalf("only %d of %d lost packets retransmitted — ack race regressed", m.Retransmits, m.LostPackets)
+	}
+	if len(tb.recvSeqs) != 20000 && m.Unrecovered == 0 {
+		t.Fatalf("delivered %d with no unrecovered accounting", len(tb.recvSeqs))
+	}
+}

@@ -1,0 +1,150 @@
+// Package eventq implements the deterministic event scheduler at the heart
+// of the discrete-event simulator.
+//
+// Events are ordered by firing time with a monotonically increasing sequence
+// number breaking ties, so two events scheduled for the same instant always
+// fire in the order they were scheduled. This makes entire simulation runs
+// reproducible from a seed.
+package eventq
+
+import "container/heap"
+
+// Event is a scheduled callback. The zero value is not useful; events are
+// created via Queue.Schedule.
+type Event struct {
+	at    int64 // firing time, ns
+	seq   uint64
+	fn    func()
+	index int // position in the heap, -1 once fired or canceled
+}
+
+// Canceled reports whether the event was canceled or has already fired.
+func (e *Event) Canceled() bool { return e == nil || e.index < 0 }
+
+// At returns the event's firing time in nanoseconds.
+func (e *Event) At() int64 { return e.at }
+
+// Queue is a time-ordered event queue. The zero value is ready to use.
+// Queue is not safe for concurrent use; a simulation run is single-threaded
+// by design.
+type Queue struct {
+	h      eventHeap
+	now    int64
+	nexts  uint64
+	nfired uint64
+}
+
+// Now returns the current simulated time in nanoseconds: the firing time of
+// the most recently dispatched event.
+func (q *Queue) Now() int64 { return q.now }
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Fired returns the total number of events dispatched so far.
+func (q *Queue) Fired() uint64 { return q.nfired }
+
+// Schedule enqueues fn to run at absolute time at (ns). Scheduling in the
+// past (before Now) panics: it always indicates a logic error in the caller,
+// and silently reordering time would corrupt the simulation.
+func (q *Queue) Schedule(at int64, fn func()) *Event {
+	if at < q.now {
+		panic("eventq: scheduling into the past")
+	}
+	e := &Event{at: at, seq: q.nexts, fn: fn}
+	q.nexts++
+	heap.Push(&q.h, e)
+	return e
+}
+
+// After enqueues fn to run d nanoseconds after Now.
+func (q *Queue) After(d int64, fn func()) *Event {
+	if d < 0 {
+		panic("eventq: negative delay")
+	}
+	return q.Schedule(q.now+d, fn)
+}
+
+// Cancel removes a pending event. Canceling a fired or already-canceled
+// event is a no-op, so callers can cancel unconditionally.
+func (q *Queue) Cancel(e *Event) {
+	if e == nil || e.index < 0 {
+		return
+	}
+	heap.Remove(&q.h, e.index)
+	e.index = -1
+	e.fn = nil
+}
+
+// Step fires the earliest pending event and returns true, or returns false
+// if the queue is empty.
+func (q *Queue) Step() bool {
+	if len(q.h) == 0 {
+		return false
+	}
+	e := heap.Pop(&q.h).(*Event)
+	e.index = -1
+	q.now = e.at
+	fn := e.fn
+	e.fn = nil
+	q.nfired++
+	fn()
+	return true
+}
+
+// RunUntil fires events until the queue is empty or the next event is after
+// deadline. Time advances to deadline if the queue drains earlier events
+// first; Now never exceeds deadline on return unless it already did.
+func (q *Queue) RunUntil(deadline int64) {
+	for len(q.h) > 0 && q.h[0].at <= deadline {
+		q.Step()
+	}
+	if q.now < deadline {
+		q.now = deadline
+	}
+}
+
+// Drain fires events until none remain. maxEvents bounds runaway
+// simulations: Drain panics if it fires more than maxEvents events
+// (use <=0 for no bound).
+func (q *Queue) Drain(maxEvents int64) {
+	var n int64
+	for q.Step() {
+		n++
+		if maxEvents > 0 && n > maxEvents {
+			panic("eventq: event budget exceeded; simulation is likely not quiescing")
+		}
+	}
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,191 @@
+package eventq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestFIFOAtSameInstant(t *testing.T) {
+	var q Queue
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.Schedule(100, func() { got = append(got, i) })
+	}
+	q.Drain(0)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events fired out of order: %v", got)
+		}
+	}
+	if q.Now() != 100 {
+		t.Fatalf("Now = %d, want 100", q.Now())
+	}
+}
+
+func TestTimeOrdering(t *testing.T) {
+	var q Queue
+	rng := rand.New(rand.NewSource(1))
+	times := make([]int64, 500)
+	for i := range times {
+		times[i] = rng.Int63n(10000)
+	}
+	var fired []int64
+	for _, at := range times {
+		at := at
+		q.Schedule(at, func() { fired = append(fired, at) })
+	}
+	q.Drain(0)
+	if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+		t.Fatal("events fired out of time order")
+	}
+	if len(fired) != len(times) {
+		t.Fatalf("fired %d events, want %d", len(fired), len(times))
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var q Queue
+	fired := false
+	e := q.Schedule(10, func() { fired = true })
+	q.Cancel(e)
+	q.Cancel(e) // double-cancel is a no-op
+	q.Cancel(nil)
+	q.Drain(0)
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if !e.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	var q Queue
+	var got []int64
+	var evs []*Event
+	for i := int64(0); i < 20; i++ {
+		i := i
+		evs = append(evs, q.Schedule(i, func() { got = append(got, i) }))
+	}
+	q.Cancel(evs[7])
+	q.Cancel(evs[13])
+	q.Drain(0)
+	if len(got) != 18 {
+		t.Fatalf("fired %d, want 18", len(got))
+	}
+	for _, v := range got {
+		if v == 7 || v == 13 {
+			t.Fatalf("canceled event %d fired", v)
+		}
+	}
+}
+
+func TestSchedulingFromCallback(t *testing.T) {
+	var q Queue
+	var order []string
+	q.Schedule(5, func() {
+		order = append(order, "a")
+		q.After(3, func() { order = append(order, "c") })
+		q.Schedule(6, func() { order = append(order, "b") })
+	})
+	q.Drain(0)
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if q.Now() != 8 {
+		t.Fatalf("Now = %d, want 8", q.Now())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	var q Queue
+	q.Schedule(10, func() {})
+	q.Step()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling into the past did not panic")
+		}
+	}()
+	q.Schedule(5, func() {})
+}
+
+func TestNegativeAfterPanics(t *testing.T) {
+	var q Queue
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative After did not panic")
+		}
+	}()
+	q.After(-1, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	var q Queue
+	var fired []int64
+	for _, at := range []int64{10, 20, 30, 40} {
+		at := at
+		q.Schedule(at, func() { fired = append(fired, at) })
+	}
+	q.RunUntil(25)
+	if len(fired) != 2 || q.Now() != 25 {
+		t.Fatalf("after RunUntil(25): fired=%v now=%d", fired, q.Now())
+	}
+	if q.Len() != 2 {
+		t.Fatalf("pending = %d, want 2", q.Len())
+	}
+	q.RunUntil(100)
+	if len(fired) != 4 || q.Now() != 100 {
+		t.Fatalf("after RunUntil(100): fired=%v now=%d", fired, q.Now())
+	}
+}
+
+func TestDrainBudget(t *testing.T) {
+	var q Queue
+	var bomb func()
+	bomb = func() { q.After(1, bomb) }
+	q.After(1, bomb)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("runaway simulation did not trip the event budget")
+		}
+	}()
+	q.Drain(1000)
+}
+
+// Property: for any multiset of (time, id) insertions, the firing order is a
+// stable sort by time.
+func TestStableOrderProperty(t *testing.T) {
+	f := func(times []uint8) bool {
+		var q Queue
+		type rec struct {
+			at  int64
+			seq int
+		}
+		var fired []rec
+		for i, tt := range times {
+			at, i := int64(tt), i
+			q.Schedule(at, func() { fired = append(fired, rec{at, i}) })
+		}
+		q.Drain(0)
+		want := make([]rec, len(times))
+		for i, tt := range times {
+			want[i] = rec{int64(tt), i}
+		}
+		sort.SliceStable(want, func(i, j int) bool { return want[i].at < want[j].at })
+		for i := range want {
+			if fired[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

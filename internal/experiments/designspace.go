@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+
+	"linkguardian/internal/core"
+	"linkguardian/internal/simtime"
+	"linkguardian/internal/stats"
+	"linkguardian/internal/transport"
+	"linkguardian/internal/workload"
+)
+
+// DesignSpaceRow compares one point of the Figure 3 design space on the
+// short-flow tail-FCT metric plus its bandwidth overhead.
+type DesignSpaceRow struct {
+	Name          string
+	P50, P999     float64 // µs
+	P9999         float64
+	OverheadBytes float64 // extra wire bytes per flow, fraction of payload
+}
+
+func (r DesignSpaceRow) String() string {
+	return fmt.Sprintf("%-18s p50=%7.1fµs p99.9=%8.1fµs p99.99=%8.1fµs overhead=%5.1f%%",
+		r.Name, r.P50, r.P999, r.P9999, r.OverheadBytes*100)
+}
+
+// DesignSpace runs the paper's qualitative §2 comparison as an experiment:
+// end-to-end retransmission (plain TCP), end-to-end duplication
+// (redundancy), and link-local retransmission (LinkGuardian), all under the
+// same corruption loss on single-packet RPCs. End-to-end duplication also
+// masks the tail, but pays its bandwidth tax on every hop of every path —
+// LinkGuardian's overhead is proportional to the loss rate and local to
+// the corrupting link.
+func DesignSpace(trials int) []DesignSpaceRow {
+	opts := DefaultFCTOpts(143)
+	opts.Trials = trials
+
+	row := func(name string, res FCTResult, overhead float64) DesignSpaceRow {
+		return DesignSpaceRow{
+			Name: name, P50: res.P(50), P999: res.P(99.9), P9999: res.P(99.99),
+			OverheadBytes: overhead,
+		}
+	}
+
+	var out []DesignSpaceRow
+	out = append(out, row("e2e ReTx (TCP)", RunFCT(TransDCTCP, LossOnly, opts), 0))
+	out = append(out, row("e2e duplication", runDupFCT(opts, 1), 1.0))
+	lg := RunFCT(TransDCTCP, LG, opts)
+	// LinkGuardian's overhead: N retransmitted copies per lost packet plus
+	// the ~0.2% 3-byte header tax, local to the link and proportional to
+	// the loss rate (§4.6).
+	lgOverhead := opts.LossRate*float64(core.CopiesFor(opts.LossRate, 1e-8)) + 0.002
+	out = append(out, row("LinkGuardian", lg, lgOverhead))
+	return out
+}
+
+// runDupFCT measures FCTs for DCTCP with end-to-end duplication.
+func runDupFCT(opts FCTOpts, copies int) FCTResult {
+	cfg := core.NewConfig(opts.Rate, opts.LossRate)
+	tb := NewTestbed(opts.Seed, opts.Rate, cfg)
+	tb.SetLoss(opts.LossRate)
+
+	res := FCTResult{Transport: TransDCTCP, Protection: LossOnly, FlowSize: opts.FlowSize}
+	fcts := make([]float64, 0, opts.Trials)
+	trial := 0
+	topts := transport.DefaultTCPOpts(transport.DCTCP)
+	topts.Duplicates = copies
+	var launch func()
+	done := func(st transport.FlowStats) {
+		fcts = append(fcts, st.FCT.Seconds()*1e6)
+		trial++
+		if trial < opts.Trials {
+			tb.Sim.After(opts.Gap, launch)
+		}
+	}
+	launch = func() {
+		transport.StartTCPFlow(tb.Sim, tb.EP1, tb.EP2, trial+1, opts.FlowSize, topts, done)
+	}
+	launch()
+	cap := tb.Sim.Now().Add(simtime.Duration(opts.Trials) * (50*simtime.Millisecond + opts.Gap))
+	for trial < opts.Trials && tb.Sim.Now().Before(cap) {
+		tb.Sim.RunFor(2 * simtime.Millisecond)
+	}
+	res.FCTs = stats.NewDist(fcts)
+	res.Trials = len(fcts)
+	return res
+}
+
+// WorkloadFCTResult aggregates tail-FCT improvements over a realistic
+// flow-size mix drawn from one of the Figure 2 workloads.
+type WorkloadFCTResult struct {
+	Workload   string
+	Trials     int
+	Protection Protection
+	FCTs       *stats.Dist
+}
+
+// RunWorkloadFCT samples flow sizes from a Figure 2 workload and measures
+// the FCT distribution under one protection setting — the experiment the
+// paper's §1 motivation implies: what a realistic RPC mix experiences on a
+// corrupting link.
+func RunWorkloadFCT(w workload.Workload, prot Protection, trials int, seed int64) WorkloadFCTResult {
+	cfg := core.NewConfig(simtime.Rate100G, 1e-3)
+	tb := NewTestbed(seed, simtime.Rate100G, cfg)
+	if prot != NoLoss {
+		tb.SetLoss(1e-3)
+	}
+	if prot == LG || prot == LGNB {
+		if prot == LGNB {
+			tb.LG.SetMode(core.NonBlocking)
+		}
+		tb.LG.Enable()
+	}
+	fcts := make([]float64, 0, trials)
+	trial := 0
+	var launch func()
+	done := func(st transport.FlowStats) {
+		fcts = append(fcts, st.FCT.Seconds()*1e6)
+		trial++
+		if trial < trials {
+			tb.Sim.After(2*simtime.Microsecond, launch)
+		}
+	}
+	launch = func() {
+		size := w.Sample(tb.Sim.Rng)
+		transport.StartTCPFlow(tb.Sim, tb.EP1, tb.EP2, trial+1, size,
+			transport.DefaultTCPOpts(transport.DCTCP), done)
+	}
+	launch()
+	cap := tb.Sim.Now().Add(simtime.Duration(trials) * 60 * simtime.Millisecond)
+	for trial < trials && tb.Sim.Now().Before(cap) {
+		tb.Sim.RunFor(2 * simtime.Millisecond)
+	}
+	return WorkloadFCTResult{Workload: w.Name, Trials: len(fcts), Protection: prot, FCTs: stats.NewDist(fcts)}
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"testing"
+
+	"linkguardian/internal/workload"
+)
+
+func TestDesignSpaceComparison(t *testing.T) {
+	rows := DesignSpace(6000)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]DesignSpaceRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	e2e := byName["e2e ReTx (TCP)"]
+	dup := byName["e2e duplication"]
+	lg := byName["LinkGuardian"]
+	// Both duplication and LinkGuardian mask the RTO tail; plain e2e
+	// retransmission pays it.
+	if e2e.P9999 < 500 {
+		t.Fatalf("e2e baseline tail %vµs, want RTO scale", e2e.P9999)
+	}
+	if dup.P9999 > 100 || lg.P9999 > 100 {
+		t.Fatalf("masking points should kill the tail: dup=%v lg=%v", dup.P9999, lg.P9999)
+	}
+	// The crucial tradeoff (§2): duplication costs 100% bandwidth on the
+	// whole path; LinkGuardian's overhead is proportional to the loss rate.
+	if dup.OverheadBytes < 0.99 {
+		t.Fatalf("duplication overhead %v, want ~100%%", dup.OverheadBytes)
+	}
+	if lg.OverheadBytes > 0.01 {
+		t.Fatalf("LinkGuardian overhead %v, want < 1%%", lg.OverheadBytes)
+	}
+}
+
+func TestWorkloadFCT(t *testing.T) {
+	loss := RunWorkloadFCT(workload.GoogleAllRPC, LossOnly, 3000, 1)
+	lg := RunWorkloadFCT(workload.GoogleAllRPC, LG, 3000, 1)
+	if loss.Trials != 3000 || lg.Trials != 3000 {
+		t.Fatalf("incomplete trials: %d/%d", loss.Trials, lg.Trials)
+	}
+	// Tail improvement on a realistic RPC size mix.
+	if loss.FCTs.Percentile(99.9) < 2*lg.FCTs.Percentile(99.9) {
+		t.Fatalf("no tail improvement: loss p99.9=%v lg p99.9=%v",
+			loss.FCTs.Percentile(99.9), lg.FCTs.Percentile(99.9))
+	}
+}

@@ -1,0 +1,343 @@
+package experiments
+
+import (
+	"fmt"
+
+	"linkguardian/internal/core"
+	"linkguardian/internal/simnet"
+	"linkguardian/internal/simtime"
+	"linkguardian/internal/stats"
+	"linkguardian/internal/transport"
+)
+
+// Transport selects the endpoint protocol for FCT experiments.
+type Transport int
+
+// Transports of §4.3.
+const (
+	TransDCTCP Transport = iota
+	TransCubic
+	TransBBR
+	TransRDMA
+	// TransRDMASR is RDMA with the selective-repeat extension (§5).
+	TransRDMASR
+)
+
+func (tr Transport) String() string {
+	switch tr {
+	case TransCubic:
+		return "CUBIC"
+	case TransBBR:
+		return "BBR"
+	case TransRDMA:
+		return "RDMA_WR"
+	case TransRDMASR:
+		return "RDMA_WR(SR)"
+	default:
+		return "DCTCP"
+	}
+}
+
+// Protection selects the link condition of an FCT experiment.
+type Protection int
+
+// The four lines of Figures 10-12.
+const (
+	NoLoss Protection = iota
+	LossOnly
+	LG
+	LGNB
+)
+
+func (p Protection) String() string {
+	switch p {
+	case LossOnly:
+		return "loss"
+	case LG:
+		return "LG"
+	case LGNB:
+		return "LG_NB"
+	default:
+		return "no-loss"
+	}
+}
+
+// FCTOpts parameterizes an FCT experiment.
+type FCTOpts struct {
+	Rate     simtime.Rate
+	FlowSize int
+	Trials   int
+	LossRate float64
+	Seed     int64
+	// Gap separates consecutive trials.
+	Gap simtime.Duration
+}
+
+// DefaultFCTOpts scales the paper's 300K-trial runs down to a tractable
+// default while keeping the tail percentiles meaningful.
+func DefaultFCTOpts(size int) FCTOpts {
+	return FCTOpts{
+		Rate:     simtime.Rate100G,
+		FlowSize: size,
+		Trials:   20000,
+		LossRate: 1e-3,
+		Seed:     1,
+		Gap:      2 * simtime.Microsecond,
+	}
+}
+
+// FCTResult is one line of a Figure 10/11/12 plot.
+type FCTResult struct {
+	Transport  Transport
+	Protection Protection
+	FlowSize   int
+	Trials     int
+
+	// FCTs in microseconds.
+	FCTs *stats.Dist
+	// Flows carries the per-trial statistics (Figure 13 classification).
+	Flows []transport.FlowStats
+	// DroppedSegs[i] lists the segment indices corruption-dropped during
+	// trial i (including LinkGuardian-recovered ones).
+	DroppedSegs [][]int
+}
+
+// P returns the FCT percentile in µs.
+func (r FCTResult) P(p float64) float64 { return r.FCTs.Percentile(p) }
+
+func (r FCTResult) String() string {
+	return fmt.Sprintf("%-8v %-7v size=%-8d p50=%8.1fµs p99=%8.1fµs p99.9=%8.1fµs p99.99=%8.1fµs",
+		r.Transport, r.Protection, r.FlowSize, r.P(50), r.P(99), r.P(99.9), r.P(99.99))
+}
+
+// RunFCT measures flow completion times for sequential trials of one
+// (transport, protection) configuration — the core of Figures 10, 11, 12
+// and Table 2.
+func RunFCT(tr Transport, prot Protection, opts FCTOpts) FCTResult {
+	cfg := core.NewConfig(opts.Rate, opts.LossRate)
+	if prot == LGNB {
+		cfg.Mode = core.NonBlocking
+	}
+	return runFCTWithConfig(tr, prot, cfg, opts)
+}
+
+// runFCTWithConfig allows Table 2's ablation variants to customize the
+// LinkGuardian configuration.
+func runFCTWithConfig(tr Transport, prot Protection, cfg core.Config, opts FCTOpts) FCTResult {
+	tb := NewTestbed(opts.Seed, opts.Rate, cfg)
+	if prot != NoLoss {
+		tb.SetLoss(opts.LossRate)
+	}
+	if prot == LG || prot == LGNB {
+		tb.LG.Enable()
+	}
+
+	// Record corruption-dropped data segments per trial for the Figure 13
+	// analysis: wrap the loss decision so drops are observable.
+	res := FCTResult{Transport: tr, Protection: prot, FlowSize: opts.FlowSize, Trials: opts.Trials}
+	trial := 0
+	if prot != NoLoss {
+		res.DroppedSegs = make([][]int, opts.Trials)
+		inner := simnet.LossModel(simnet.IIDLoss{P: opts.LossRate})
+		tb.Link.DropFn = func(p *simnet.Packet, f *simnet.Ifc) bool {
+			if f != tb.Link.A() {
+				return false
+			}
+			drop := inner.Drops(tb.Sim.Rng)
+			if drop && trial < len(res.DroppedSegs) {
+				if d, ok := p.Payload.(transport.SegmentInfo); ok {
+					res.DroppedSegs[trial] = append(res.DroppedSegs[trial], d.Index())
+				}
+			}
+			return drop
+		}
+	}
+
+	fcts := make([]float64, 0, opts.Trials)
+	var launch func()
+	done := func(st transport.FlowStats) {
+		fcts = append(fcts, st.FCT.Seconds()*1e6)
+		res.Flows = append(res.Flows, st)
+		trial++
+		if trial < opts.Trials {
+			tb.Sim.After(opts.Gap, launch)
+		}
+	}
+	launch = func() {
+		flowID := trial + 1
+		switch tr {
+		case TransRDMA:
+			transport.StartRDMAWrite(tb.Sim, tb.EP1, tb.EP2, flowID, opts.FlowSize, transport.DefaultRDMAOpts(), done)
+		case TransRDMASR:
+			o := transport.DefaultRDMAOpts()
+			o.SelectiveRepeat = true
+			transport.StartRDMAWrite(tb.Sim, tb.EP1, tb.EP2, flowID, opts.FlowSize, o, done)
+		default:
+			v := transport.DCTCP
+			switch tr {
+			case TransCubic:
+				v = transport.Cubic
+			case TransBBR:
+				v = transport.BBR
+			}
+			transport.StartTCPFlow(tb.Sim, tb.EP1, tb.EP2, flowID, opts.FlowSize, transport.DefaultTCPOpts(v), done)
+		}
+	}
+	launch()
+	// Run in slices and stop as soon as the last trial completes: with
+	// LinkGuardian enabled the self-replenishing queues keep the event
+	// queue busy forever, so a fixed far-future horizon would simulate an
+	// idle link indefinitely.
+	cap := tb.Sim.Now().Add(simtime.Duration(opts.Trials)*(50*simtime.Millisecond+opts.Gap) + simtime.Second)
+	for trial < opts.Trials && tb.Sim.Now().Before(cap) {
+		tb.Sim.RunFor(2 * simtime.Millisecond)
+	}
+	res.FCTs = stats.NewDist(fcts)
+	res.Trials = len(fcts)
+	return res
+}
+
+// Figure10 compares 143B single-packet flows (Google all-RPC modal size)
+// across the four protections for DCTCP and RDMA on a 100G link.
+func Figure10(trials int) []FCTResult {
+	var out []FCTResult
+	for _, tr := range []Transport{TransDCTCP, TransRDMA} {
+		for _, prot := range []Protection{NoLoss, LG, LGNB, LossOnly} {
+			opts := DefaultFCTOpts(143)
+			opts.Trials = trials
+			out = append(out, RunFCT(tr, prot, opts))
+		}
+	}
+	return out
+}
+
+// Figure11 repeats the comparison with 24,387B (17-packet) flows, the DCTCP
+// web-search modal size, for DCTCP, BBR and RDMA.
+func Figure11(trials int) []FCTResult {
+	var out []FCTResult
+	for _, tr := range []Transport{TransDCTCP, TransBBR, TransRDMA} {
+		for _, prot := range []Protection{NoLoss, LG, LGNB, LossOnly} {
+			opts := DefaultFCTOpts(24387)
+			opts.Trials = trials
+			out = append(out, RunFCT(tr, prot, opts))
+		}
+	}
+	return out
+}
+
+// Figure12 runs 2MB DCTCP flows (Alibaba storage maximum).
+func Figure12(trials int) []FCTResult {
+	var out []FCTResult
+	for _, prot := range []Protection{NoLoss, LG, LGNB, LossOnly} {
+		opts := DefaultFCTOpts(2 << 20)
+		opts.Trials = trials
+		out = append(out, RunFCT(TransDCTCP, prot, opts))
+	}
+	return out
+}
+
+// Table2Row is one column of Table 2: FCT percentiles for one mechanism
+// combination.
+type Table2Row struct {
+	Name                     string
+	P99, P999, P9999, P99999 float64 // µs
+	StdDev                   float64
+}
+
+// Table2 reproduces the mechanism ablation: no loss, loss, plain link-local
+// ReTx, ReTx+Order, ReTx+Tail, and ReTx+Tail+Order (= LinkGuardian), for
+// 24,387B DCTCP flows.
+func Table2(trials int) []Table2Row {
+	opts := DefaultFCTOpts(24387)
+	opts.Trials = trials
+
+	mk := func(name string, res FCTResult) Table2Row {
+		return Table2Row{
+			Name: name, P99: res.P(99), P999: res.P(99.9),
+			P9999: res.P(99.99), P99999: res.P(99.999),
+			StdDev: res.FCTs.StdDev(),
+		}
+	}
+	var rows []Table2Row
+	rows = append(rows, mk("NoLoss", RunFCT(TransDCTCP, NoLoss, opts)))
+	rows = append(rows, mk("Loss", RunFCT(TransDCTCP, LossOnly, opts)))
+
+	variant := func(name string, mode core.Mode, tail bool) {
+		cfg := core.NewConfig(opts.Rate, opts.LossRate)
+		cfg.Mode = mode
+		cfg.TailLossDetection = tail
+		prot := LG
+		if mode == core.NonBlocking {
+			prot = LGNB
+		}
+		rows = append(rows, mk(name, runFCTWithConfig(TransDCTCP, prot, cfg, opts)))
+	}
+	variant("ReTx", core.NonBlocking, false)
+	variant("ReTx+Order", core.Ordered, false)
+	variant("ReTx+Tail", core.NonBlocking, true)
+	variant("ReTx+Tail+Order", core.Ordered, true)
+	return rows
+}
+
+func (r Table2Row) String() string {
+	return fmt.Sprintf("%-16s 99%%=%8.1f 99.9%%=%8.1f 99.99%%=%8.1f 99.999%%=%8.1f std=%8.1f",
+		r.Name, r.P99, r.P999, r.P9999, r.P99999, r.StdDev)
+}
+
+// Figure13 classifies the "affected" flows of a 24,387B DCTCP + LG_NB run
+// into the paper's four groups (§4.4): whether the SACKed bytes were enough
+// to reduce cwnd, whether the loss was a tail loss (within the last 3
+// packets), and whether data was still pending at the reduction.
+type Figure13Result struct {
+	Total, Affected        int
+	GrpA, GrpB, GrpC, GrpD int
+}
+
+// Figure13 runs the experiment and classification.
+func Figure13(trials int) Figure13Result {
+	opts := DefaultFCTOpts(24387)
+	opts.Trials = trials
+	res := RunFCT(TransDCTCP, LGNB, opts)
+	return ClassifyFigure13(res)
+}
+
+// ClassifyFigure13 applies the Figure 13 decision tree to a completed LG_NB
+// run.
+func ClassifyFigure13(res FCTResult) Figure13Result {
+	out := Figure13Result{Total: res.Trials}
+	mss := 1448
+	nseg := (res.FlowSize + mss - 1) / mss
+	for i, st := range res.Flows {
+		if !st.EverSACKed {
+			continue // not affected
+		}
+		out.Affected++
+		tail := false
+		if i < len(res.DroppedSegs) {
+			for _, seg := range res.DroppedSegs[i] {
+				if seg >= nseg-3 {
+					tail = true
+				}
+			}
+		}
+		if st.MaxSackedBytes <= 2*mss {
+			if tail {
+				out.GrpB++
+			} else {
+				out.GrpA++
+			}
+		} else {
+			if st.ReducedWhilePending {
+				out.GrpD++
+			} else {
+				out.GrpC++
+			}
+		}
+	}
+	return out
+}
+
+func (r Figure13Result) String() string {
+	return fmt.Sprintf("affected=%d/%d  A=%d B=%d C=%d D=%d",
+		r.Affected, r.Total, r.GrpA, r.GrpB, r.GrpC, r.GrpD)
+}

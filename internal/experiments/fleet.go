@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"linkguardian/internal/corropt"
+	"linkguardian/internal/fabric"
+	"linkguardian/internal/failtrace"
+	"linkguardian/internal/stats"
+)
+
+// FleetOpts scales the §4.8 large-scale simulation.
+type FleetOpts struct {
+	Pods        int // 256 pods = ~100K links (the paper's scale)
+	Horizon     time.Duration
+	SampleEvery time.Duration
+	Seed        int64
+}
+
+// DefaultFleetOpts runs the paper's one-year simulation at a reduced
+// default scale (64 pods ≈ 25K links) that completes quickly; cmd/fleetsim
+// exposes the full size.
+func DefaultFleetOpts() FleetOpts {
+	return FleetOpts{
+		Pods:        64,
+		Horizon:     365 * 24 * time.Hour,
+		SampleEvery: 6 * time.Hour,
+		Seed:        1,
+	}
+}
+
+// FleetComparison holds both policies' sample series over an identical
+// corruption trace, for one capacity constraint.
+type FleetComparison struct {
+	Constraint         float64
+	Links              int
+	Vanilla, Combined  []corropt.Sample
+	PenaltyGain        *stats.Dist // Figure 16a (log10 would be plotted)
+	CapacityDecreasePP *stats.Dist // Figure 16b, percent points
+}
+
+// RunFleet simulates CorrOpt vs LinkGuardian+CorrOpt on identical traces
+// under one capacity constraint — Figures 15 and 16.
+func RunFleet(constraint float64, opts FleetOpts) FleetComparison {
+	cfg := fabric.DefaultConfig()
+	cfg.Pods = opts.Pods
+	trace := failtrace.Generate(rand.New(rand.NewSource(opts.Seed)), fabric.New(cfg).NumLinks(), opts.Horizon)
+
+	run := func(policy corropt.Policy) []corropt.Sample {
+		net := fabric.New(cfg)
+		rng := rand.New(rand.NewSource(opts.Seed + 1000))
+		return corropt.Run(rng, net, trace, corropt.Options{
+			Constraint: constraint,
+			Policy:     policy,
+		}, opts.SampleEvery, opts.Horizon)
+	}
+	fc := FleetComparison{Constraint: constraint, Links: fabric.New(cfg).NumLinks()}
+	fc.Vanilla = run(corropt.Vanilla)
+	fc.Combined = run(corropt.WithLinkGuardian)
+	gains, capDec := corropt.Gain(fc.Vanilla, fc.Combined)
+	// Cap infinities for the distribution (combined penalty of exactly 0).
+	for i, g := range gains {
+		if g > 1e12 {
+			gains[i] = 1e12
+		}
+	}
+	fc.PenaltyGain = stats.NewDist(gains)
+	fc.CapacityDecreasePP = stats.NewDist(capDec)
+	return fc
+}
+
+// Figure15Window extracts a one-week snapshot of the comparison starting at
+// the given offset, mirroring the Figure 15 plots.
+func (fc FleetComparison) Figure15Window(start, span time.Duration) (vanilla, combined []corropt.Sample) {
+	cut := func(ss []corropt.Sample) []corropt.Sample {
+		var out []corropt.Sample
+		for _, s := range ss {
+			if s.At >= start && s.At < start+span {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	return cut(fc.Vanilla), cut(fc.Combined)
+}
+
+// String summarizes the Figure 16 distributions.
+func (fc FleetComparison) String() string {
+	return fmt.Sprintf("constraint=%.0f%% links=%d gain[p50=%.3g p90=%.3g max=%.3g] capDec[p50=%.4f%% p99=%.4f%%]",
+		fc.Constraint*100, fc.Links,
+		fc.PenaltyGain.Percentile(50), fc.PenaltyGain.Percentile(90), fc.PenaltyGain.Max(),
+		fc.CapacityDecreasePP.Percentile(50), fc.CapacityDecreasePP.Percentile(99))
+}
+
+// Figures15And16 runs the comparison for both capacity constraints of the
+// paper (50% and 75%).
+func Figures15And16(opts FleetOpts) []FleetComparison {
+	return []FleetComparison{RunFleet(0.50, opts), RunFleet(0.75, opts)}
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+
+	"linkguardian/internal/core"
+	"linkguardian/internal/simtime"
+	"linkguardian/internal/transport"
+	"linkguardian/internal/wharf"
+)
+
+// Table3Row is one row of Table 3: TCP CUBIC goodput (Gb/s) on a 10G link
+// across loss rates, for one mitigation.
+type Table3Row struct {
+	Name     string
+	Goodputs []float64 // aligned with Table3LossRates
+}
+
+// Table3LossRates are the columns of Table 3.
+var Table3LossRates = []float64{0, 1e-5, 1e-4, 1e-3, 1e-2}
+
+// Table3Opts scales the goodput measurement.
+type Table3Opts struct {
+	FlowBytes int
+	Seed      int64
+	Horizon   simtime.Duration
+}
+
+// DefaultTable3Opts transfers 8MB per cell (~7ms lossless on 10G).
+func DefaultTable3Opts() Table3Opts {
+	return Table3Opts{FlowBytes: 8 << 20, Seed: 1, Horizon: 30 * simtime.Second}
+}
+
+// measureCubicGoodput runs one CUBIC bulk transfer over the testbed and
+// returns goodput in Gb/s.
+func measureCubicGoodput(prot Protection, lossRate float64, opts Table3Opts) float64 {
+	cfg := core.NewConfig(simtime.Rate10G, lossRate)
+	if prot == LGNB {
+		cfg.Mode = core.NonBlocking
+	}
+	tb := NewTestbed(opts.Seed, simtime.Rate10G, cfg)
+	if prot != NoLoss && lossRate > 0 {
+		tb.SetLoss(lossRate)
+	}
+	if prot == LG || prot == LGNB {
+		tb.LG.Enable()
+	}
+	var fct simtime.Duration
+	transport.StartTCPFlow(tb.Sim, tb.EP1, tb.EP2, 1, opts.FlowBytes,
+		transport.DefaultTCPOpts(transport.Cubic), func(st transport.FlowStats) { fct = st.FCT })
+	for fct == 0 && tb.Sim.Now() < simtime.Time(opts.Horizon) {
+		tb.Sim.RunFor(10 * simtime.Millisecond)
+	}
+	if fct == 0 {
+		return 0
+	}
+	return float64(opts.FlowBytes) * 8 / fct.Seconds() / 1e9
+}
+
+// Table3 reproduces the Wharf comparison: None (plain CUBIC), Wharf
+// (numerical model driven by the measured baseline), LinkGuardian and
+// LinkGuardianNB, on a 10G link.
+func Table3(opts Table3Opts) []Table3Row {
+	baselineAt := func(loss float64) float64 {
+		return measureCubicGoodput(LossOnly, loss, opts)
+	}
+	// Memoized baseline for the Wharf model's residual-loss lookups.
+	cache := map[float64]float64{}
+	baseline := func(loss float64) float64 {
+		// Quantize residual losses onto the measured grid.
+		grid := 0.0
+		for _, q := range Table3LossRates {
+			if loss >= q && q > grid {
+				grid = q
+			}
+		}
+		if v, ok := cache[grid]; ok {
+			return v
+		}
+		v := baselineAt(grid)
+		cache[grid] = v
+		return v
+	}
+
+	rows := []Table3Row{{Name: "None"}, {Name: "Wharf"}, {Name: "LinkGuardian"}, {Name: "LinkGuardianNB"}}
+	for _, q := range Table3LossRates {
+		none := baseline(q)
+		rows[0].Goodputs = append(rows[0].Goodputs, none)
+		if q == 0 {
+			// Wharf is n/a on a lossless link (Table 3's "n/a").
+			rows[1].Goodputs = append(rows[1].Goodputs, 0)
+		} else {
+			rows[1].Goodputs = append(rows[1].Goodputs, wharf.Goodput(baseline, q))
+		}
+		rows[2].Goodputs = append(rows[2].Goodputs, measureCubicGoodput(LG, q, opts))
+		rows[3].Goodputs = append(rows[3].Goodputs, measureCubicGoodput(LGNB, q, opts))
+	}
+	return rows
+}
+
+func (r Table3Row) String() string {
+	s := fmt.Sprintf("%-15s", r.Name)
+	for _, g := range r.Goodputs {
+		if g == 0 {
+			s += "    n/a"
+		} else {
+			s += fmt.Sprintf("  %5.2f", g)
+		}
+	}
+	return s
+}

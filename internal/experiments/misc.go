@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"linkguardian/internal/failtrace"
+	"linkguardian/internal/phy"
+	"linkguardian/internal/simnet"
+	"linkguardian/internal/workload"
+)
+
+// Figure1 returns the attenuation sweep for the four transceivers of
+// Figure 1 (1518B frames, 9-18 dB).
+func Figure1() map[string][]phy.LossPoint {
+	out := map[string][]phy.LossPoint{}
+	for _, tr := range phy.AllTransceivers {
+		out[tr.Name] = phy.Figure1Series(tr, 9, 18, 0.5)
+	}
+	return out
+}
+
+// Figure2 returns the flow-size CDF series of the six workloads.
+func Figure2() map[string][][2]float64 {
+	out := map[string][][2]float64{}
+	for _, w := range workload.All() {
+		out[w.Name] = w.CDFSeries(1, 30e6, 64)
+	}
+	return out
+}
+
+// ConsecutiveLossPoint is one point of the Figure 20 CCDF: the probability
+// that a loss event involves at most N consecutive packets.
+type ConsecutiveLossPoint struct {
+	Run int
+	CDF float64
+}
+
+// Figure20 measures the distribution of consecutive packets lost at the
+// paper's stress loss rates (1% and 5%) for both an i.i.d. link and a
+// bursty Gilbert-Elliott link. The paper measured the real VOA link; the
+// burst model reproduces the heavier tail that motivates provisioning 5
+// reTxReqs registers (§3.5, Appendix B.2).
+func Figure20(lossRate float64, bursty bool, frames int, seed int64) []ConsecutiveLossPoint {
+	rng := rand.New(rand.NewSource(seed))
+	var model simnet.LossModel = simnet.IIDLoss{P: lossRate}
+	if bursty {
+		model = simnet.NewGilbertElliott(lossRate, 1.8)
+	}
+	runs := map[int]int{}
+	cur, events := 0, 0
+	for i := 0; i < frames; i++ {
+		if model.Drops(rng) {
+			cur++
+		} else if cur > 0 {
+			runs[cur]++
+			events++
+			cur = 0
+		}
+	}
+	if cur > 0 {
+		runs[cur]++
+		events++
+	}
+	var lens []int
+	for l := range runs {
+		lens = append(lens, l)
+	}
+	sort.Ints(lens)
+	var out []ConsecutiveLossPoint
+	cum := 0
+	for _, l := range lens {
+		cum += runs[l]
+		out = append(out, ConsecutiveLossPoint{Run: l, CDF: float64(cum) / float64(events)})
+	}
+	return out
+}
+
+// MaxRunCovered returns the smallest run length whose CDF reaches the given
+// coverage (e.g. 0.999999 — the paper's 99.9999% claim for 5 registers).
+func MaxRunCovered(pts []ConsecutiveLossPoint, coverage float64) int {
+	for _, p := range pts {
+		if p.CDF >= coverage {
+			return p.Run
+		}
+	}
+	if len(pts) == 0 {
+		return 0
+	}
+	return pts[len(pts)-1].Run
+}
+
+// Table1Check samples the loss-rate generator and reports the observed
+// bucket fractions next to Table 1's published ones.
+type Table1Check struct {
+	Bucket   string
+	Expected float64
+	Observed float64
+}
+
+// Table1 validates the trace generator's loss-rate distribution.
+func Table1(samples int, seed int64) []Table1Check {
+	rng := rand.New(rand.NewSource(seed))
+	counts := make([]int, 4)
+	for i := 0; i < samples; i++ {
+		r := failtrace.SampleLossRate(rng)
+		counts[failtrace.BucketOf(r)]++
+	}
+	names := []string{"[1e-8,1e-5)", "[1e-5,1e-4)", "[1e-4,1e-3)", "[1e-3+)"}
+	expect := []float64{0.4723, 0.1843, 0.2166, 0.1267}
+	var out []Table1Check
+	for i := range names {
+		out = append(out, Table1Check{
+			Bucket:   names[i],
+			Expected: expect[i],
+			Observed: float64(counts[i]) / float64(samples),
+		})
+	}
+	return out
+}
+
+func (c Table1Check) String() string {
+	return fmt.Sprintf("%-12s expected=%6.2f%% observed=%6.2f%%", c.Bucket, c.Expected*100, c.Observed*100)
+}

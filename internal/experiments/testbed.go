@@ -1,0 +1,103 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation on the simulated testbed: one constructor per experiment,
+// returning the same rows/series the paper reports. The cmd/paper binary
+// and the repository's benchmarks are thin wrappers over this package.
+package experiments
+
+import (
+	"linkguardian/internal/core"
+	"linkguardian/internal/simnet"
+	"linkguardian/internal/simtime"
+	"linkguardian/internal/transport"
+)
+
+// Testbed is the inner portion of the Figure 7 topology: two endpoint
+// hosts, the LinkGuardian sender switch (sw2) and receiver switch (sw6),
+// and the corrupting optical link between them (the VOA link).
+type Testbed struct {
+	Sim      *simnet.Sim
+	H1, H2   *simnet.Host
+	SW2, SW6 *simnet.Switch
+	Link     *simnet.Link // protected link, sw2 -> sw6 is the corrupting direction
+	LG       *core.Instance
+	EP1, EP2 *transport.Endpoint
+
+	rate simtime.Rate
+}
+
+// NewTestbed builds the testbed at the given link speed with a LinkGuardian
+// instance (initially dormant) configured by cfg.
+func NewTestbed(seed int64, rate simtime.Rate, cfg core.Config) *Testbed {
+	s := simnet.NewSim(seed)
+	tb := &Testbed{Sim: s, rate: rate}
+	tb.H1 = simnet.NewHost(s, "h1")
+	tb.H2 = simnet.NewHost(s, "h2")
+	tb.SW2 = simnet.NewSwitch(s, "sw2")
+	tb.SW6 = simnet.NewSwitch(s, "sw6")
+	l1 := simnet.Connect(s, tb.H1, tb.SW2, rate, 100*simtime.Nanosecond)
+	tb.Link = simnet.Connect(s, tb.SW2, tb.SW6, rate, 100*simtime.Nanosecond)
+	l2 := simnet.Connect(s, tb.SW6, tb.H2, rate, 100*simtime.Nanosecond)
+	tb.SW2.AddRoute("h2", tb.Link.A())
+	tb.SW2.AddRoute("h1", l1.B())
+	tb.SW6.AddRoute("h2", l2.A())
+	tb.SW6.AddRoute("h1", tb.Link.B())
+	tb.LG = core.Protect(s, tb.Link.A(), cfg)
+	tb.EP1 = transport.NewEndpoint(s, tb.H1)
+	tb.EP2 = transport.NewEndpoint(s, tb.H2)
+	return tb
+}
+
+// SetLoss installs an i.i.d. corruption model on the protected direction.
+func (tb *Testbed) SetLoss(p float64) {
+	if p <= 0 {
+		tb.Link.SetLoss(tb.Link.A(), simnet.NoLoss{})
+		return
+	}
+	tb.Link.SetLoss(tb.Link.A(), simnet.IIDLoss{P: p})
+}
+
+// Generator is the switch packet generator used by the §4.1 stress tests:
+// it injects MTU-sized packets directly at sw2's protected egress at
+// exactly line rate.
+type Generator struct {
+	tb      *Testbed
+	size    int
+	sent    uint64
+	running bool
+}
+
+// StartGenerator begins line-rate injection of frameBytes-sized frames.
+func (tb *Testbed) StartGenerator(frameBytes int) *Generator {
+	g := &Generator{tb: tb, size: frameBytes, running: true}
+	interval := tb.rate.Serialize(simtime.WireBytes(frameBytes))
+	var tick func()
+	tick = func() {
+		if !g.running {
+			return
+		}
+		pkt := tb.Sim.NewPacket(simnet.KindData, g.size, "h2")
+		pkt.FlowID = -1
+		tb.Link.A().Send(pkt)
+		g.sent++
+		tb.Sim.After(interval, tick)
+	}
+	tb.Sim.After(0, tick)
+	return g
+}
+
+// Stop halts the generator.
+func (g *Generator) Stop() { g.running = false }
+
+// Sent returns the number of injected frames.
+func (g *Generator) Sent() uint64 { return g.sent }
+
+// CountReceived attaches a sink on h2 counting received data packets and
+// payload bytes.
+func (tb *Testbed) CountReceived() (pkts *uint64, bytes *uint64) {
+	var p, b uint64
+	tb.H2.OnReceive = func(pkt *simnet.Packet) {
+		p++
+		b += uint64(pkt.Size)
+	}
+	return &p, &b
+}

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+
+	"linkguardian/internal/core"
+	"linkguardian/internal/simnet"
+	"linkguardian/internal/simtime"
+	"linkguardian/internal/transport"
+)
+
+// TimelinePoint is one sample of the Figure 9/21 time series.
+type TimelinePoint struct {
+	At        simtime.Time
+	SendGbps  float64 // delivered goodput at the receiver
+	QDepth    int     // sender-switch egress queue (the "qdepth" trace)
+	RxBuf     int     // LinkGuardian reordering-buffer occupancy
+	E2EReTx   int     // cumulative end-to-end retransmissions
+	LGEnabled bool
+}
+
+// TimelineResult is a full Figure 9-style run.
+type TimelineResult struct {
+	Variant      transport.Variant
+	Rate         simtime.Rate
+	Backpressure bool
+	Points       []TimelinePoint
+
+	// Phase goodputs (Gb/s) averaged over each phase, for assertions and
+	// table output: before corruption, with corruption, with LinkGuardian.
+	CleanGbps, LossGbps, LGGbps float64
+
+	RxBufOverflows uint64
+	FinalStats     transport.FlowStats
+}
+
+// TimelineOpts parameterizes the Figure 9/21 experiments. Timescales are
+// compressed ~100x from the paper's 14-second runs: corruption starts at
+// CorruptAt and LinkGuardian is enabled at EnableAt.
+type TimelineOpts struct {
+	Rate         simtime.Rate
+	Variant      transport.Variant
+	LossRate     float64
+	Backpressure bool
+	Mode         core.Mode
+
+	CorruptAt, EnableAt, EndAt simtime.Duration
+	SampleEvery                simtime.Duration
+	Seed                       int64
+}
+
+// DefaultTimelineOpts is Figure 9a compressed: a single DCTCP flow on a 25G
+// link, 1e-3 corruption from 20ms, LinkGuardian from 70ms, 140ms total.
+func DefaultTimelineOpts() TimelineOpts {
+	return TimelineOpts{
+		Rate:         simtime.Rate25G,
+		Variant:      transport.DCTCP,
+		LossRate:     1e-3,
+		Backpressure: true,
+		Mode:         core.Ordered,
+		CorruptAt:    20 * simtime.Millisecond,
+		EnableAt:     70 * simtime.Millisecond,
+		EndAt:        140 * simtime.Millisecond,
+		SampleEvery:  simtime.Millisecond,
+		Seed:         1,
+	}
+}
+
+// RunTimeline reproduces the Figure 9/21 experiment: one long transport
+// flow; corruption appears mid-run, then LinkGuardian is activated.
+func RunTimeline(opts TimelineOpts) TimelineResult {
+	cfg := core.NewConfig(opts.Rate, opts.LossRate)
+	cfg.Mode = opts.Mode
+	cfg.Backpressure = opts.Backpressure
+	tb := NewTestbed(opts.Seed, opts.Rate, cfg)
+
+	// ECN marking at the paper's DCTCP threshold (100KB) on the sender
+	// switch's egress — the queue that shows up as "qdepth" in Figure 9.
+	egressQ := tb.Link.A().Port.Q(simnet.PrioNormal)
+	egressQ.ECNThreshold = 100 << 10
+
+	// One very long flow stands in for iperf. The window cap models the
+	// socket buffer: a few BDPs, so the pre-corruption phase runs at line
+	// rate without an artificial standing queue.
+	topts := transport.DefaultTCPOpts(opts.Variant)
+	topts.MaxCwnd = 384 << 10
+	flowSize := int(opts.Rate / 8 / 4) // ~250ms worth; never completes
+	fl := transport.StartTCPFlow(tb.Sim, tb.EP1, tb.EP2, 1, flowSize, topts, nil)
+
+	var deliveredBytes uint64
+	prevRecv := tb.H2.OnReceive
+	tb.H2.OnReceive = func(p *simnet.Packet) {
+		if p.FlowID == 1 && p.Kind == simnet.KindData {
+			deliveredBytes += uint64(p.Size)
+		}
+		prevRecv(p)
+	}
+
+	tb.Sim.At(simtime.Time(opts.CorruptAt), func() { tb.SetLoss(opts.LossRate) })
+	tb.Sim.At(simtime.Time(opts.EnableAt), func() { tb.LG.Enable() })
+
+	res := TimelineResult{Variant: opts.Variant, Rate: opts.Rate, Backpressure: opts.Backpressure}
+	var lastBytes uint64
+	var phaseAcc [3]struct {
+		bits float64
+		secs float64
+	}
+	tb.Sim.Every(opts.SampleEvery, func() bool {
+		now := tb.Sim.Now()
+		delta := deliveredBytes - lastBytes
+		lastBytes = deliveredBytes
+		gbps := float64(delta) * 8 / opts.SampleEvery.Seconds() / 1e9
+		res.Points = append(res.Points, TimelinePoint{
+			At:        now,
+			SendGbps:  gbps,
+			QDepth:    egressQ.Bytes(),
+			RxBuf:     tb.LG.M.RxBufBytes,
+			E2EReTx:   fl.Stats().Retransmits,
+			LGEnabled: tb.LG.Enabled(),
+		})
+		phase := 0
+		switch {
+		case now >= simtime.Time(opts.EnableAt)+simtime.Time(10*simtime.Millisecond):
+			phase = 2
+		case now >= simtime.Time(opts.CorruptAt)+simtime.Time(5*simtime.Millisecond) && now < simtime.Time(opts.EnableAt):
+			phase = 1
+		case now < simtime.Time(opts.CorruptAt):
+			phase = 0
+		default:
+			return now < simtime.Time(opts.EndAt) // transition; skip
+		}
+		phaseAcc[phase].bits += float64(delta) * 8
+		phaseAcc[phase].secs += opts.SampleEvery.Seconds()
+		return now < simtime.Time(opts.EndAt)
+	})
+	tb.Sim.Run(simtime.Time(opts.EndAt))
+
+	gb := func(i int) float64 {
+		if phaseAcc[i].secs == 0 {
+			return 0
+		}
+		return phaseAcc[i].bits / phaseAcc[i].secs / 1e9
+	}
+	res.CleanGbps, res.LossGbps, res.LGGbps = gb(0), gb(1), gb(2)
+	res.RxBufOverflows = tb.LG.M.RxBufOverflows
+	res.FinalStats = fl.Stats()
+	return res
+}
+
+func (r TimelineResult) String() string {
+	return fmt.Sprintf("%v@%v bp=%v clean=%.2fGbps loss=%.2fGbps LG=%.2fGbps e2eReTx=%d overflows=%d",
+		r.Variant, r.Rate, r.Backpressure, r.CleanGbps, r.LossGbps, r.LGGbps,
+		r.FinalStats.Retransmits, r.RxBufOverflows)
+}
+
+// Figure9 runs the DCTCP timeline with backpressure on (9a) and off (9b).
+// The paper runs these at 25G; we run them at 100G, where our recirculation
+// model's drain headroom is tight enough for the no-backpressure overflow
+// regime of Figure 9b to exist (at 25G the two-port recirculation path
+// drains the reordering buffer four times faster than the link can fill
+// it, so disabling backpressure is harmless in the simulator).
+func Figure9() (a, b TimelineResult) {
+	opts := DefaultTimelineOpts()
+	opts.Rate = simtime.Rate100G
+	a = RunTimeline(opts)
+	opts.Backpressure = false
+	b = RunTimeline(opts)
+	return a, b
+}
+
+// Figure21 runs the CUBIC (25G) and BBR (10G) timelines of Appendix B.3.
+func Figure21() (cubic, bbr TimelineResult) {
+	opts := DefaultTimelineOpts()
+	opts.Variant = transport.Cubic
+	cubic = RunTimeline(opts)
+
+	opts = DefaultTimelineOpts()
+	opts.Variant = transport.BBR
+	opts.Rate = simtime.Rate10G
+	bbr = RunTimeline(opts)
+	return cubic, bbr
+}

@@ -1,0 +1,111 @@
+// Package failtrace generates link-corruption traces following the paper's
+// Appendix D methodology: per-link Weibull onset times (shape β=1, i.e.
+// exponential, since corruption stems from random external events) with a
+// 10,000-hour mean time to failure from Meza et al., and corruption loss
+// rates drawn from the bucket distribution observed across Microsoft
+// datacenters (Table 1).
+package failtrace
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// MTTF is the per-link mean time to corruption onset (η in Equation 3).
+const MTTF = 10000 * time.Hour
+
+// Bucket is one row of Table 1: loss rates in [Lo, Hi) with probability
+// mass Frac.
+type Bucket struct {
+	Lo, Hi float64
+	Frac   float64
+}
+
+// Table1 is the corruption loss-rate distribution observed in Microsoft
+// datacenters. The paper treats 1e-8 as the healthy floor and the top
+// bucket as [1e-3, 1e-2).
+var Table1 = []Bucket{
+	{Lo: 1e-8, Hi: 1e-5, Frac: 0.4723},
+	{Lo: 1e-5, Hi: 1e-4, Frac: 0.1843},
+	{Lo: 1e-4, Hi: 1e-3, Frac: 0.2166},
+	{Lo: 1e-3, Hi: 1e-2, Frac: 0.1267},
+}
+
+// SampleLossRate draws a corruption loss rate from Table 1: a bucket by
+// mass, then log-uniform within the bucket.
+func SampleLossRate(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	for _, b := range Table1 {
+		if u < b.Frac {
+			return math.Pow(10, math.Log10(b.Lo)+rng.Float64()*(math.Log10(b.Hi)-math.Log10(b.Lo)))
+		}
+		u -= b.Frac
+	}
+	b := Table1[len(Table1)-1]
+	return math.Pow(10, math.Log10(b.Lo)+rng.Float64()*(math.Log10(b.Hi)-math.Log10(b.Lo)))
+}
+
+// BucketOf returns the Table 1 bucket index for a loss rate, or -1 if it is
+// below the healthy floor.
+func BucketOf(rate float64) int {
+	if rate < Table1[0].Lo {
+		return -1
+	}
+	for i, b := range Table1 {
+		if rate < b.Hi {
+			return i
+		}
+	}
+	return len(Table1) - 1
+}
+
+// NextOnset draws the time until a link starts corrupting packets
+// (Equation 3 with β=1: exponential with mean MTTF).
+func NextOnset(rng *rand.Rand) time.Duration {
+	return time.Duration(rng.ExpFloat64() * float64(MTTF))
+}
+
+// SampleRepairTime draws how long a disabled link takes to repair: 80% of
+// links take about 2 days, the rest about 4 days (§4.8), with ±20% jitter.
+func SampleRepairTime(rng *rand.Rand) time.Duration {
+	base := 2 * 24 * time.Hour
+	if rng.Float64() >= 0.8 {
+		base = 4 * 24 * time.Hour
+	}
+	jitter := 0.8 + 0.4*rng.Float64()
+	return time.Duration(float64(base) * jitter)
+}
+
+// Event is one corruption onset: link LinkID starts corrupting at At with
+// the given loss rate.
+type Event struct {
+	At       time.Duration
+	LinkID   int
+	LossRate float64
+}
+
+// Generate produces a time-sorted corruption trace for nLinks links over
+// the horizon. Each link re-arms after each onset plus an assumed repair
+// turnaround, approximating the fleet process; the spatial distribution of
+// simultaneously corrupting links is uniform, matching the production
+// observation cited in Appendix D.
+func Generate(rng *rand.Rand, nLinks int, horizon time.Duration) []Event {
+	var evs []Event
+	for link := 0; link < nLinks; link++ {
+		t := NextOnset(rng)
+		for t < horizon {
+			evs = append(evs, Event{At: t, LinkID: link, LossRate: SampleLossRate(rng)})
+			t += SampleRepairTime(rng) + NextOnset(rng)
+		}
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	return evs
+}
+
+// ExpectedEvents estimates the number of onsets Generate yields: roughly
+// nLinks * horizon / MTTF.
+func ExpectedEvents(nLinks int, horizon time.Duration) float64 {
+	return float64(nLinks) * float64(horizon) / float64(MTTF)
+}

@@ -1,0 +1,116 @@
+package failtrace
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestTable1MassSumsToOne(t *testing.T) {
+	sum := 0.0
+	for _, b := range Table1 {
+		sum += b.Frac
+	}
+	if math.Abs(sum-0.9999) > 0.001 {
+		t.Fatalf("Table 1 mass = %v, want ~1 (paper rounds to 100%%)", sum)
+	}
+}
+
+func TestSampleLossRateMatchesTable1(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, len(Table1))
+	const n = 200000
+	for i := 0; i < n; i++ {
+		r := SampleLossRate(rng)
+		idx := BucketOf(r)
+		if idx < 0 {
+			t.Fatalf("sampled rate %g below healthy floor", r)
+		}
+		counts[idx]++
+	}
+	for i, b := range Table1 {
+		got := float64(counts[i]) / n
+		if math.Abs(got-b.Frac) > 0.01 {
+			t.Errorf("bucket %d: sampled %.4f, want %.4f", i, got, b.Frac)
+		}
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := map[float64]int{1e-9: -1, 1e-8: 0, 5e-6: 0, 1e-5: 1, 5e-4: 2, 1e-3: 3, 5e-3: 3, 0.5: 3}
+	for r, want := range cases {
+		if got := BucketOf(r); got != want {
+			t.Errorf("BucketOf(%g) = %d, want %d", r, got, want)
+		}
+	}
+}
+
+func TestNextOnsetMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var sum float64 // float accumulator: the Duration sum would overflow int64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += float64(NextOnset(rng))
+	}
+	mean := sum / n
+	if math.Abs(mean-float64(MTTF)) > 0.02*float64(MTTF) {
+		t.Fatalf("onset mean %v, want ~%v", time.Duration(mean), MTTF)
+	}
+}
+
+func TestSampleRepairTimeBimodal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	fast := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		d := SampleRepairTime(rng)
+		if d < 3*24*time.Hour {
+			fast++
+		}
+		if d < 24*time.Hour || d > 6*24*time.Hour {
+			t.Fatalf("repair time %v out of range", d)
+		}
+	}
+	frac := float64(fast) / n
+	if frac < 0.75 || frac > 0.85 {
+		t.Fatalf("fast-repair fraction %.3f, want ~0.8", frac)
+	}
+}
+
+func TestGenerateSortedAndSized(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const nLinks = 2000
+	horizon := 365 * 24 * time.Hour
+	evs := Generate(rng, nLinks, horizon)
+	if !sort.SliceIsSorted(evs, func(i, j int) bool { return evs[i].At < evs[j].At }) {
+		t.Fatal("trace not time-sorted")
+	}
+	want := ExpectedEvents(nLinks, horizon) // ~1752
+	got := float64(len(evs))
+	if got < want*0.8 || got > want*1.2 {
+		t.Fatalf("trace has %v events, expected ~%v", got, want)
+	}
+	for _, e := range evs {
+		if e.At < 0 || e.At >= horizon || e.LinkID < 0 || e.LinkID >= nLinks {
+			t.Fatalf("bad event %+v", e)
+		}
+		if BucketOf(e.LossRate) < 0 {
+			t.Fatalf("bad loss rate %g", e.LossRate)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(rand.New(rand.NewSource(9)), 100, 1000*time.Hour)
+	b := Generate(rand.New(rand.NewSource(9)), 100, 1000*time.Hour)
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("non-deterministic trace")
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package monitor
+
+import (
+	"linkguardian/internal/core"
+	"linkguardian/internal/simnet"
+	"linkguardian/internal/simtime"
+)
+
+// FallbackConfig parameterizes the automatic-fallback controller of §5:
+// LinkGuardian is designed for the low loss rates of Table 1, and in the
+// rare event of a sudden high loss rate the control plane degrades
+// gracefully — first to the non-blocking mode (no ordering stalls), then by
+// disabling protection entirely.
+type FallbackConfig struct {
+	PollInterval simtime.Duration
+	WindowFrames uint64
+	// NonBlockingAbove switches an Ordered instance to NonBlocking when
+	// the measured loss rate exceeds it.
+	NonBlockingAbove float64
+	// DisableAbove disables the instance entirely when the measured loss
+	// rate exceeds it (the link is beyond salvage and must be drained).
+	DisableAbove float64
+	// RestoreBelow switches back to Ordered once the rate drops below it.
+	RestoreBelow float64
+}
+
+// DefaultFallbackConfig uses one-second polling with mode fallback at 2%
+// loss and full disable at 20%.
+func DefaultFallbackConfig() FallbackConfig {
+	return FallbackConfig{
+		PollInterval:     simtime.Second,
+		WindowFrames:     10e6,
+		NonBlockingAbove: 2e-2,
+		DisableAbove:     0.2,
+		RestoreBelow:     5e-3,
+	}
+}
+
+// Fallback watches the receive counters of one protected link and adjusts
+// its LinkGuardian instance's mode as the measured loss rate moves.
+type Fallback struct {
+	sim *simnet.Sim
+	cfg FallbackConfig
+	g   *core.Instance
+	rx  *simnet.Ifc
+
+	hist []counterSnap
+
+	// Switches counts mode transitions performed; Disabled reports
+	// whether the controller gave up on the link.
+	Switches int
+	Disabled bool
+
+	running bool
+}
+
+// NewFallback creates a controller for the instance protecting the
+// direction received by rxIfc (the receiver side of the protected link).
+func NewFallback(sim *simnet.Sim, g *core.Instance, rxIfc *simnet.Ifc, cfg FallbackConfig) *Fallback {
+	return &Fallback{sim: sim, cfg: cfg, g: g, rx: rxIfc}
+}
+
+// Start begins polling.
+func (f *Fallback) Start() {
+	if f.running {
+		return
+	}
+	f.running = true
+	f.sim.Every(f.cfg.PollInterval, func() bool {
+		f.poll()
+		return f.running && !f.Disabled
+	})
+}
+
+// Stop halts the controller.
+func (f *Fallback) Stop() { f.running = false }
+
+func (f *Fallback) poll() {
+	snap := counterSnap{all: f.rx.In.RxAll, bad: f.rx.In.RxBad}
+	f.hist = append(f.hist, snap)
+	for len(f.hist) > 2 && snap.all-f.hist[1].all >= f.cfg.WindowFrames {
+		f.hist = f.hist[1:]
+	}
+	base := f.hist[0]
+	dAll := snap.all - base.all
+	if dAll == 0 {
+		return
+	}
+	loss := float64(snap.bad-base.bad) / float64(dAll)
+	switch {
+	case loss >= f.cfg.DisableAbove:
+		if f.g.Enabled() {
+			f.g.Disable()
+			f.Disabled = true
+			f.Switches++
+		}
+	case loss >= f.cfg.NonBlockingAbove:
+		if f.g.Mode() == core.Ordered {
+			f.g.SetMode(core.NonBlocking)
+			f.Switches++
+		}
+	case loss < f.cfg.RestoreBelow:
+		if f.g.Enabled() && f.g.Mode() == core.NonBlocking {
+			f.g.SetMode(core.Ordered)
+			f.Switches++
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package monitor
+
+import (
+	"testing"
+
+	"linkguardian/internal/core"
+	"linkguardian/internal/simnet"
+	"linkguardian/internal/simtime"
+)
+
+func fallbackCfg() FallbackConfig {
+	return FallbackConfig{
+		PollInterval:     simtime.Millisecond,
+		WindowFrames:     5000,
+		NonBlockingAbove: 2e-2,
+		DisableAbove:     0.2,
+		RestoreBelow:     5e-3,
+	}
+}
+
+// steadyTraffic keeps packets flowing so the counters move.
+func steadyTraffic(r *lifecycleRig, n int, every simtime.Duration) {
+	sent := 0
+	r.sim.Every(every, func() bool {
+		r.h1.Send(r.sim.NewPacket(simnet.KindData, 1400, "h2"))
+		sent++
+		return sent < n
+	})
+}
+
+func TestFallbackSwitchesToNonBlocking(t *testing.T) {
+	r := newLifecycleRig(testConfig())
+	r.lg.Enable()
+	fb := NewFallback(r.sim, r.lg, r.link.B(), fallbackCfg())
+	fb.Start()
+
+	steadyTraffic(r, 200000, 2*simtime.Microsecond)
+	// Healthy at first, then a sudden 5% loss burst.
+	r.sim.At(simtime.Time(50*simtime.Millisecond), func() {
+		r.link.SetLoss(r.link.A(), simnet.IIDLoss{P: 5e-2})
+	})
+	r.sim.RunFor(150 * simtime.Millisecond)
+	if r.lg.Mode() != core.NonBlocking {
+		t.Fatalf("mode = %v, want NonBlocking after 5%% loss", r.lg.Mode())
+	}
+	if fb.Disabled {
+		t.Fatal("5% loss should not disable, only fall back")
+	}
+
+	// The loss clears; the controller restores ordered mode once the
+	// counter window turns healthy again.
+	r.link.SetLoss(r.link.A(), nil)
+	steadyTraffic(r, 200000, 2*simtime.Microsecond)
+	r.sim.RunFor(300 * simtime.Millisecond)
+	if r.lg.Mode() != core.Ordered {
+		t.Fatalf("mode = %v, want Ordered restored after recovery", r.lg.Mode())
+	}
+	if fb.Switches < 2 {
+		t.Fatalf("switches = %d, want >= 2", fb.Switches)
+	}
+}
+
+func TestFallbackDisablesAtExtremeLoss(t *testing.T) {
+	r := newLifecycleRig(testConfig())
+	r.lg.Enable()
+	fb := NewFallback(r.sim, r.lg, r.link.B(), fallbackCfg())
+	fb.Start()
+	r.link.SetLoss(r.link.A(), simnet.IIDLoss{P: 0.4})
+	steadyTraffic(r, 100000, 2*simtime.Microsecond)
+	r.sim.RunFor(200 * simtime.Millisecond)
+	if !fb.Disabled {
+		t.Fatal("40% loss should disable LinkGuardian entirely")
+	}
+	if r.lg.Enabled() {
+		t.Fatal("instance still enabled after fallback disable")
+	}
+}
+
+func TestFallbackIdleLinkNoAction(t *testing.T) {
+	r := newLifecycleRig(testConfig())
+	r.lg.Enable()
+	fb := NewFallback(r.sim, r.lg, r.link.B(), fallbackCfg())
+	fb.Start()
+	r.sim.RunFor(50 * simtime.Millisecond)
+	if fb.Switches != 0 || fb.Disabled {
+		t.Fatalf("controller acted on an idle healthy link: %+v", fb)
+	}
+}

@@ -1,0 +1,130 @@
+package monitor
+
+import (
+	"testing"
+
+	"linkguardian/internal/core"
+	"linkguardian/internal/simnet"
+	"linkguardian/internal/simtime"
+)
+
+// lifecycleRig wires h1 - sw2 ==link== sw6 - h2 with corruptd daemons on
+// both switches and a dormant LinkGuardian instance on sw2's egress.
+type lifecycleRig struct {
+	sim      *simnet.Sim
+	h1, h2   *simnet.Host
+	link     *simnet.Link
+	lg       *core.Instance
+	bus      *Bus
+	d2, d6   *Daemon
+	act      *Activator
+	received int
+}
+
+func newLifecycleRig(cfg Config) *lifecycleRig {
+	r := &lifecycleRig{sim: simnet.NewSim(1), bus: NewBus()}
+	s := r.sim
+	r.h1 = simnet.NewHost(s, "h1")
+	r.h2 = simnet.NewHost(s, "h2")
+	r.h1.StackDelay, r.h2.StackDelay = 0, 0
+	sw2 := simnet.NewSwitch(s, "sw2")
+	sw6 := simnet.NewSwitch(s, "sw6")
+	l1 := simnet.Connect(s, r.h1, sw2, simtime.Rate25G, 0)
+	r.link = simnet.Connect(s, sw2, sw6, simtime.Rate25G, 100*simtime.Nanosecond)
+	l2 := simnet.Connect(s, sw6, r.h2, simtime.Rate25G, 0)
+	sw2.AddRoute("h2", r.link.A())
+	sw2.AddRoute("h1", l1.B())
+	sw6.AddRoute("h2", l2.A())
+	sw6.AddRoute("h1", r.link.B())
+	r.h2.OnReceive = func(p *simnet.Packet) { r.received++ }
+
+	r.lg = core.Protect(s, r.link.A(), core.NewConfig(simtime.Rate25G, 0))
+	r.d2 = NewDaemon(s, sw2, r.bus, cfg)
+	r.d6 = NewDaemon(s, sw6, r.bus, cfg)
+	r.act = NewActivator(r.bus, sw2, map[string]*core.Instance{r.link.A().Name: r.lg})
+	r.d2.Start()
+	r.d6.Start()
+	return r
+}
+
+// testConfig shrinks the window and poll interval so the lifecycle fits in
+// a short simulation.
+func testConfig() Config {
+	return Config{PollInterval: simtime.Millisecond, WindowFrames: 20000, Threshold: 1e-8}
+}
+
+func TestHealthyLinkNeverActivates(t *testing.T) {
+	r := newLifecycleRig(testConfig())
+	for i := 0; i < 20000; i++ {
+		r.h1.Send(r.sim.NewPacket(simnet.KindData, 1400, "h2"))
+	}
+	r.sim.RunFor(50 * simtime.Millisecond)
+	if r.d6.Notified != 0 || r.act.Activated != 0 || r.lg.Enabled() {
+		t.Fatalf("healthy link triggered activation: notified=%d activated=%d", r.d6.Notified, r.act.Activated)
+	}
+	if r.received != 20000 {
+		t.Fatalf("received %d, want 20000", r.received)
+	}
+}
+
+func TestCorruptionDetectedAndActivated(t *testing.T) {
+	r := newLifecycleRig(testConfig())
+	r.link.SetLoss(r.link.A(), simnet.IIDLoss{P: 1e-3})
+	for i := 0; i < 60000; i++ {
+		r.h1.Send(r.sim.NewPacket(simnet.KindData, 1400, "h2"))
+	}
+	r.sim.RunFor(100 * simtime.Millisecond)
+	if r.d6.Notified == 0 {
+		t.Fatal("corruptd never noticed 1e-3 loss")
+	}
+	if r.act.Activated != 1 || !r.lg.Enabled() {
+		t.Fatalf("LinkGuardian not activated: activated=%d enabled=%v", r.act.Activated, r.lg.Enabled())
+	}
+	// Measured rate must parameterize Equation 2: 1e-3 needs 2 copies.
+	if got := r.lg.Copies(); got != 2 {
+		t.Fatalf("activated with %d copies, want 2 for ~1e-3 measured loss", got)
+	}
+	// Duplicate notifications must not re-activate.
+	if r.act.Activated != 1 {
+		t.Fatalf("re-activated %d times", r.act.Activated)
+	}
+}
+
+func TestEndToEndMaskingAfterActivation(t *testing.T) {
+	r := newLifecycleRig(testConfig())
+	r.link.SetLoss(r.link.A(), simnet.IIDLoss{P: 1e-3})
+	// Phase 1: enough traffic to trip the detector.
+	for i := 0; i < 60000; i++ {
+		r.h1.Send(r.sim.NewPacket(simnet.KindData, 1400, "h2"))
+	}
+	r.sim.RunFor(100 * simtime.Millisecond)
+	if !r.lg.Enabled() {
+		t.Fatal("precondition: LG should be active")
+	}
+	// Phase 2: with LG active, a fresh batch must arrive complete.
+	before := r.received
+	const n = 50000
+	for i := 0; i < n; i++ {
+		r.h1.Send(r.sim.NewPacket(simnet.KindData, 1400, "h2"))
+	}
+	r.sim.RunFor(100 * simtime.Millisecond)
+	got := r.received - before
+	missing := n - got
+	// ~50 packets would be lost without LG; with 2 retx copies the
+	// expected residual is ~5e-8 per packet.
+	if missing > 2 {
+		t.Fatalf("%d of %d packets still lost after activation", missing, n)
+	}
+}
+
+func TestBusTopics(t *testing.T) {
+	b := NewBus()
+	var got []string
+	b.Subscribe("sw1", func(n Notification) { got = append(got, "sw1:"+n.Link) })
+	b.Subscribe("sw2", func(n Notification) { got = append(got, "sw2:"+n.Link) })
+	b.Publish("sw2", Notification{Link: "x"})
+	b.Publish("nobody", Notification{Link: "y"})
+	if len(got) != 1 || got[0] != "sw2:x" {
+		t.Fatalf("bus routing broken: %v", got)
+	}
+}

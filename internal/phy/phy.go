@@ -1,0 +1,161 @@
+// Package phy models the optical physical layer of Figure 1: how optical
+// attenuation turns into bit errors on different Ethernet transceiver
+// generations, how the standards' Reed-Solomon FEC corrects (or fails to
+// correct) them, and the resulting packet loss rate for a given frame size.
+//
+// The paper measured these curves on real transceivers through a Variable
+// Optical Attenuator; we substitute a standard receiver model — linear
+// Q-factor degradation with attenuation beyond the link budget, BER =
+// Q(x) Gaussian tail, RS(n,k) symbol-correction — calibrated so the four
+// curves reproduce Figure 1's onsets: 10GBASE-SR tolerates the most
+// attenuation, 25GBASE-SR loses ~3dB of budget from the higher baudrate
+// (FEC buys back ~1.5dB), and PAM4-based 50GBASE-SR is the most fragile
+// even with mandatory FEC.
+package phy
+
+import "math"
+
+// FEC describes a Reed-Solomon code over m-bit symbols correcting up to T
+// symbol errors per N-symbol codeword (K data symbols).
+type FEC struct {
+	Name    string
+	N, K, T int
+	SymBits int
+}
+
+// Standard Ethernet FEC codes.
+var (
+	// RS528 is the RS(528,514) "Clause 91" FEC used by 25G/100G Ethernet.
+	RS528 = &FEC{Name: "RS(528,514)", N: 528, K: 514, T: 7, SymBits: 10}
+	// RS544 is the stronger RS(544,514) "Clause 134" FEC that 50G PAM4
+	// Ethernet mandates.
+	RS544 = &FEC{Name: "RS(544,514)", N: 544, K: 514, T: 15, SymBits: 10}
+)
+
+// Transceiver models one optical module type from Figure 1.
+type Transceiver struct {
+	Name string
+	// BudgetDB is the attenuation (dB) at which the pre-FEC BER equals
+	// 1e-12 — the edge of the healthy operating region.
+	BudgetDB float64
+	// SlopeDBPerDecade controls how sharply Q collapses beyond the
+	// budget; higher is sharper.
+	Slope float64
+	// FEC, if non-nil, is applied to the raw bit errors.
+	FEC *FEC
+}
+
+// The four transceiver configurations measured in Figure 1. Budgets are
+// calibrated to the figure's loss onsets (~16dB for 10G, ~13dB for 25G
+// without FEC, ~14.5dB with FEC, ~10.5dB for 50G with FEC).
+var (
+	TR10GBaseSR     = Transceiver{Name: "10GBASE-SR", BudgetDB: 16.0, Slope: 3}
+	TR25GBaseSR     = Transceiver{Name: "25GBASE-SR", BudgetDB: 12.5, Slope: 3}
+	TR25GBaseSRFEC  = Transceiver{Name: "25GBASE-SR (FEC)", BudgetDB: 12.5, Slope: 3, FEC: RS528}
+	TR50GBaseSRFEC  = Transceiver{Name: "50GBASE-SR (FEC)", BudgetDB: 8.0, Slope: 3, FEC: RS544}
+	AllTransceivers = []Transceiver{TR50GBaseSRFEC, TR25GBaseSR, TR25GBaseSRFEC, TR10GBaseSR}
+)
+
+// qAtBudget is the Q factor giving BER = 1e-12.
+const qAtBudget = 7.034
+
+// PreFECBER returns the raw bit error rate at the given attenuation.
+func (t Transceiver) PreFECBER(attenDB float64) float64 {
+	q := qAtBudget * math.Pow(10, (t.BudgetDB-attenDB)*t.Slope/20)
+	return qToBER(q)
+}
+
+// qToBER is the Gaussian tail: BER = 0.5 erfc(Q/sqrt2).
+func qToBER(q float64) float64 {
+	if q <= 0 {
+		return 0.5
+	}
+	return 0.5 * math.Erfc(q/math.Sqrt2)
+}
+
+// PacketLossRate returns the probability that a frame of frameBytes is
+// corrupted (and therefore dropped by the receiving MAC) at the given
+// attenuation, after FEC correction if the transceiver uses it.
+func (t Transceiver) PacketLossRate(attenDB float64, frameBytes int) float64 {
+	ber := t.PreFECBER(attenDB)
+	bits := float64(frameBytes * 8)
+	if t.FEC == nil {
+		return oneMinusPowOneMinus(ber, bits)
+	}
+	pcw := t.FEC.CodewordErrorRate(ber)
+	// A frame spans ceil(frameBits / dataBitsPerCodeword) codewords; any
+	// uncorrectable codeword kills the frame.
+	ncw := math.Ceil(bits / float64(t.FEC.K*t.FEC.SymBits))
+	return oneMinusPowOneMinus(pcw, ncw)
+}
+
+// CodewordErrorRate returns the probability that more than T of the N
+// symbols of a codeword are in error, given a raw bit error rate.
+func (f *FEC) CodewordErrorRate(ber float64) float64 {
+	if ber <= 0 {
+		return 0
+	}
+	psym := oneMinusPowOneMinus(ber, float64(f.SymBits))
+	// Tail of Binomial(N, psym) beyond T, computed in log space for
+	// numerical stability at tiny psym.
+	var tail float64
+	for i := f.T + 1; i <= f.N; i++ {
+		lp := logChoose(f.N, i) + float64(i)*math.Log(psym) + float64(f.N-i)*math.Log1p(-psym)
+		term := math.Exp(lp)
+		tail += term
+		if term < tail*1e-16 {
+			break // remaining terms are negligible
+		}
+	}
+	if tail > 1 {
+		tail = 1
+	}
+	return tail
+}
+
+// oneMinusPowOneMinus computes 1-(1-p)^n accurately for small p.
+func oneMinusPowOneMinus(p, n float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	return -math.Expm1(n * math.Log1p(-p))
+}
+
+func logChoose(n, k int) float64 {
+	lg, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	return lg - lk - lnk
+}
+
+// LossPoint is one point of a Figure 1 series.
+type LossPoint struct {
+	AttenDB  float64
+	LossRate float64
+}
+
+// Figure1Series sweeps attenuation for one transceiver with the paper's
+// 1518-byte frames, producing the corresponding Figure 1 curve.
+func Figure1Series(t Transceiver, fromDB, toDB, stepDB float64) []LossPoint {
+	var pts []LossPoint
+	for a := fromDB; a <= toDB+1e-9; a += stepDB {
+		pts = append(pts, LossPoint{AttenDB: a, LossRate: t.PacketLossRate(a, 1518)})
+	}
+	return pts
+}
+
+// BERForFrameLossRate inverts the frame-loss relation: the BER that yields
+// the given loss rate for frameBytes frames (no FEC). The paper's footnote:
+// a 1e-8 loss rate for MTU frames corresponds to ~1e-12 BER, the healthy
+// threshold.
+func BERForFrameLossRate(lossRate float64, frameBytes int) float64 {
+	if lossRate <= 0 {
+		return 0
+	}
+	// 1-(1-b)^n = L  =>  b = 1-(1-L)^(1/n)
+	n := float64(frameBytes * 8)
+	return -math.Expm1(math.Log1p(-lossRate) / n)
+}

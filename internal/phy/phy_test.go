@@ -1,0 +1,119 @@
+package phy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHealthyAtBudget(t *testing.T) {
+	for _, tr := range AllTransceivers {
+		ber := tr.PreFECBER(tr.BudgetDB)
+		if ber < 5e-13 || ber > 2e-12 {
+			t.Errorf("%s: BER at budget = %g, want ~1e-12", tr.Name, ber)
+		}
+	}
+}
+
+func TestLossMonotoneInAttenuation(t *testing.T) {
+	for _, tr := range AllTransceivers {
+		prev := -1.0
+		for a := 5.0; a <= 20; a += 0.25 {
+			l := tr.PacketLossRate(a, 1518)
+			if l < prev-1e-15 {
+				t.Fatalf("%s: loss not monotone at %gdB", tr.Name, a)
+			}
+			if l < 0 || l > 1 {
+				t.Fatalf("%s: loss %g out of range", tr.Name, l)
+			}
+			prev = l
+		}
+	}
+}
+
+// Figure 1's qualitative ordering: at a moderate attenuation the loss rates
+// order 50G(FEC) > 25G > 25G(FEC) > 10G — higher baudrate and denser
+// modulation are more fragile, FEC helps.
+func TestFigure1Ordering(t *testing.T) {
+	const atten = 14.0
+	l50 := TR50GBaseSRFEC.PacketLossRate(atten, 1518)
+	l25 := TR25GBaseSR.PacketLossRate(atten, 1518)
+	l25f := TR25GBaseSRFEC.PacketLossRate(atten, 1518)
+	l10 := TR10GBaseSR.PacketLossRate(atten, 1518)
+	if !(l50 >= l25 && l25 > l25f && l25f > l10) {
+		t.Fatalf("ordering broken: 50G=%g 25G=%g 25GF=%g 10G=%g", l50, l25, l25f, l10)
+	}
+}
+
+func TestFECCodingGain(t *testing.T) {
+	// FEC must push the loss onset to higher attenuation: find the
+	// attenuation where loss crosses 1e-6 for 25G with and without FEC.
+	cross := func(tr Transceiver) float64 {
+		for a := 9.0; a <= 20; a += 0.05 {
+			if tr.PacketLossRate(a, 1518) > 1e-6 {
+				return a
+			}
+		}
+		return math.Inf(1)
+	}
+	gain := cross(TR25GBaseSRFEC) - cross(TR25GBaseSR)
+	if gain < 0.5 || gain > 4 {
+		t.Fatalf("FEC coding gain = %.2fdB, want ~1-2dB", gain)
+	}
+}
+
+func TestFECCorrectsLowBER(t *testing.T) {
+	// At pre-FEC BER 1e-6, RS(528,514) must essentially eliminate frame
+	// loss; at BER 1e-2 it must be overwhelmed.
+	if p := RS528.CodewordErrorRate(1e-6); p > 1e-15 {
+		t.Fatalf("RS528 at BER 1e-6: cw error %g, want ~0", p)
+	}
+	if p := RS528.CodewordErrorRate(1e-2); p < 0.1 {
+		t.Fatalf("RS528 at BER 1e-2: cw error %g, want near 1", p)
+	}
+	// Stronger code corrects more.
+	if RS544.CodewordErrorRate(3e-4) >= RS528.CodewordErrorRate(3e-4) {
+		t.Fatal("RS544 should outperform RS528 at the same BER")
+	}
+}
+
+func TestBERInversion(t *testing.T) {
+	// Paper footnote 2: MTU-frame loss 1e-8 corresponds to BER ~1e-12.
+	ber := BERForFrameLossRate(1e-8, 1518)
+	if ber < 5e-13 || ber > 2e-12 {
+		t.Fatalf("BER for 1e-8 frame loss = %g, want ~8e-13", ber)
+	}
+	// Round trip property.
+	f := func(exp uint8) bool {
+		l := math.Pow(10, -float64(exp%8)-1) // 1e-1 .. 1e-8
+		b := BERForFrameLossRate(l, 1518)
+		back := oneMinusPowOneMinus(b, 1518*8)
+		return math.Abs(back-l) < l*1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure1Series(t *testing.T) {
+	pts := Figure1Series(TR50GBaseSRFEC, 9, 18, 0.5)
+	if len(pts) != 19 {
+		t.Fatalf("series has %d points, want 19", len(pts))
+	}
+	// The 50G curve must span from healthy to heavy loss over the sweep.
+	if pts[0].LossRate > 1e-8 {
+		t.Fatalf("50G already lossy at 9dB: %g", pts[0].LossRate)
+	}
+	if pts[len(pts)-1].LossRate < 1e-2 {
+		t.Fatalf("50G not saturated at 18dB: %g", pts[len(pts)-1].LossRate)
+	}
+}
+
+func TestLargerFramesLoseMore(t *testing.T) {
+	tr := TR25GBaseSR
+	small := tr.PacketLossRate(13.5, 64)
+	large := tr.PacketLossRate(13.5, 1518)
+	if small >= large {
+		t.Fatalf("64B loss %g should be below 1518B loss %g", small, large)
+	}
+}

@@ -1,0 +1,98 @@
+// Package seqnum implements LinkGuardian's 16-bit link-local sequence
+// numbers with era-based wraparound handling (§3.5 of the paper).
+//
+// The sender stamps each protected packet with a monotonically increasing
+// 16-bit seqNo plus a 1-bit "era" that toggles every time the sequence
+// number wraps. Comparing two sequence numbers from different eras applies
+// an "era correction": both are shifted by half the sequence space, which is
+// correct as long as the two numbers are less than N/2 apart — guaranteed in
+// practice because the Tx buffer holds far fewer than 32K packets.
+package seqnum
+
+import "fmt"
+
+// Space is the size of the sequence number space (16-bit).
+const Space = 1 << 16
+
+// Half is the maximum distance at which cross-era comparison is defined.
+const Half = Space / 2
+
+// Seq is a sequence number tagged with its era bit.
+type Seq struct {
+	N   uint16
+	Era uint8 // 0 or 1
+}
+
+// String renders the sequence number as "era:number".
+func (s Seq) String() string { return fmt.Sprintf("%d:%d", s.Era, s.N) }
+
+// Next returns the sequence number following s, toggling the era on wrap.
+func (s Seq) Next() Seq {
+	n := s.N + 1
+	if n == 0 {
+		return Seq{N: 0, Era: s.Era ^ 1}
+	}
+	return Seq{N: n, Era: s.Era}
+}
+
+// Add returns s advanced by k (k may be negative). The era toggles once per
+// wrap; |k| must be < Half for the result to be meaningfully comparable
+// with s.
+func (s Seq) Add(k int) Seq {
+	n := int(s.N) + k
+	era := s.Era
+	for n >= Space {
+		n -= Space
+		era ^= 1
+	}
+	for n < 0 {
+		n += Space
+		era ^= 1
+	}
+	return Seq{N: uint16(n), Era: era}
+}
+
+// Compare returns -1, 0 or +1 as a is before, equal to, or after b,
+// applying era correction when the two belong to different eras. The result
+// is defined only when the numbers are less than Half apart, which the
+// protocol guarantees.
+func Compare(a, b Seq) int {
+	an, bn := int(a.N), int(b.N)
+	if a.Era != b.Era {
+		// Era correction (§3.5): subtract N/2 from both, modulo the space.
+		an = (an + Space - Half) % Space
+		bn = (bn + Space - Half) % Space
+	}
+	switch {
+	case an < bn:
+		return -1
+	case an > bn:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Less reports a < b under era-corrected comparison.
+func Less(a, b Seq) bool { return Compare(a, b) < 0 }
+
+// LessEq reports a <= b under era-corrected comparison.
+func LessEq(a, b Seq) bool { return Compare(a, b) <= 0 }
+
+// Distance returns the number of increments needed to advance from a to b.
+// It is defined only when the answer is in (-Half, Half).
+func Distance(a, b Seq) int {
+	d := (int(b.N) - int(a.N) + Space) % Space
+	if a.Era == b.Era {
+		if d >= Half {
+			return d - Space // b is behind a within the same era
+		}
+		return d
+	}
+	// Different eras: b is ahead across the wrap (d small) or behind
+	// across the wrap (d close to Space).
+	if d >= Half {
+		return d - Space
+	}
+	return d
+}

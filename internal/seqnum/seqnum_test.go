@@ -1,0 +1,124 @@
+package seqnum
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNextWrapsAndTogglesEra(t *testing.T) {
+	s := Seq{N: Space - 1, Era: 0}
+	n := s.Next()
+	if n.N != 0 || n.Era != 1 {
+		t.Fatalf("Next at wrap = %v, want 1:0", n)
+	}
+	n2 := Seq{N: Space - 1, Era: 1}.Next()
+	if n2.N != 0 || n2.Era != 0 {
+		t.Fatalf("Next at second wrap = %v, want 0:0", n2)
+	}
+}
+
+func TestCompareSameEra(t *testing.T) {
+	a, b := Seq{N: 5}, Seq{N: 9}
+	if Compare(a, b) != -1 || Compare(b, a) != 1 || Compare(a, a) != 0 {
+		t.Fatal("same-era comparison broken")
+	}
+	if !Less(a, b) || Less(b, a) || !LessEq(a, a) {
+		t.Fatal("Less/LessEq broken")
+	}
+}
+
+func TestCompareAcrossEras(t *testing.T) {
+	// Just before and just after a wrap: 65534 (era 0) precedes 3 (era 1).
+	a := Seq{N: Space - 2, Era: 0}
+	b := Seq{N: 3, Era: 1}
+	if !Less(a, b) {
+		t.Fatalf("%v should be Less than %v across the wrap", a, b)
+	}
+	if Compare(b, a) != 1 {
+		t.Fatal("reverse comparison across eras broken")
+	}
+}
+
+func TestDistance(t *testing.T) {
+	cases := []struct {
+		a, b Seq
+		want int
+	}{
+		{Seq{N: 5}, Seq{N: 9}, 4},
+		{Seq{N: 9}, Seq{N: 5}, -4},
+		{Seq{N: Space - 2, Era: 0}, Seq{N: 3, Era: 1}, 5},
+		{Seq{N: 3, Era: 1}, Seq{N: Space - 2, Era: 0}, -5},
+		{Seq{N: 7}, Seq{N: 7}, 0},
+	}
+	for _, c := range cases {
+		if got := Distance(c.a, c.b); got != c.want {
+			t.Errorf("Distance(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestAdd(t *testing.T) {
+	s := Seq{N: Space - 3, Era: 1}
+	if got := s.Add(5); got.N != 2 || got.Era != 0 {
+		t.Fatalf("Add(5) across wrap = %v, want 0:2", got)
+	}
+	if got := s.Add(0); got != s {
+		t.Fatalf("Add(0) = %v, want %v", got, s)
+	}
+	back := Seq{N: 2, Era: 0}.Add(-5)
+	if back.N != Space-3 || back.Era != 1 {
+		t.Fatalf("Add(-5) across wrap = %v, want 1:%d", back, Space-3)
+	}
+}
+
+// Property: for any start and any step k in (0, Half), Add(k) yields a value
+// that Compare orders after the start and Distance measures exactly k —
+// including across era boundaries.
+func TestAdvanceProperty(t *testing.T) {
+	f := func(n uint16, era bool, step uint16) bool {
+		k := int(step)%(Half-1) + 1
+		var e uint8
+		if era {
+			e = 1
+		}
+		a := Seq{N: n, Era: e}
+		b := a.Add(k)
+		return Less(a, b) && Distance(a, b) == k && Distance(b, a) == -k
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Next is Add(1), and a chain of Nexts is always strictly
+// increasing under era-corrected comparison within Half steps.
+func TestNextChainProperty(t *testing.T) {
+	f := func(n uint16, era bool) bool {
+		var e uint8
+		if era {
+			e = 1
+		}
+		s := Seq{N: n, Era: e}
+		if s.Next() != s.Add(1) {
+			return false
+		}
+		cur := s
+		for i := 0; i < 100; i++ {
+			nxt := cur.Next()
+			if !Less(cur, nxt) || LessEq(nxt, s) {
+				return false
+			}
+			cur = nxt
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := (Seq{N: 42, Era: 1}).String(); got != "1:42" {
+		t.Fatalf("String = %q", got)
+	}
+}

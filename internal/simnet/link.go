@@ -1,0 +1,212 @@
+package simnet
+
+import "linkguardian/internal/simtime"
+
+// Node is anything that terminates links: switches and hosts.
+type Node interface {
+	// HandlePacket processes a packet received (or recirculated) on in.
+	HandlePacket(pkt *Packet, in *Ifc)
+	// NodeName identifies the node in traces and route tables.
+	NodeName() string
+}
+
+// Counters are the per-port MAC frame counters that the corruptd monitoring
+// daemon polls (Appendix C), and that the testbed experiments read at points
+// A–D of Figure 7.
+type Counters struct {
+	RxAll uint64 // frames arriving at the MAC, including corrupted
+	RxOk  uint64 // frames delivered past the MAC
+	RxBad uint64 // frames dropped as corrupted (RxAll - RxOk)
+
+	RxBytesOk uint64
+}
+
+// Ifc is one end of a link: an egress Port plus the ingress side of the
+// reverse direction. LinkGuardian's sender and receiver state machines
+// attach to an Ifc via the OnEgress/OnIngress hooks.
+type Ifc struct {
+	node Node
+	link *Link
+	peer *Ifc
+
+	// Port transmits toward the peer.
+	Port *Port
+
+	// Name labels the interface for traces, e.g. "sw2->sw6".
+	Name string
+
+	// OnEgress, if set, intercepts packets the node wants to transmit on
+	// this interface (LinkGuardian sender). Returning true means the hook
+	// consumed the packet (it will enqueue stamped copies itself); false
+	// lets the packet pass to the Port untouched.
+	OnEgress func(*Packet) bool
+
+	// OnIngress, if set, intercepts packets arriving on this interface
+	// before normal node processing (LinkGuardian receiver). Returning
+	// true consumes the packet.
+	OnIngress func(*Packet) bool
+
+	// In counts ingress frames on this interface.
+	In Counters
+}
+
+// Node returns the node owning the interface.
+func (i *Ifc) Node() Node { return i.node }
+
+// Peer returns the other end of the link.
+func (i *Ifc) Peer() *Ifc { return i.peer }
+
+// Link returns the link this interface terminates.
+func (i *Ifc) Link() *Link { return i.link }
+
+// Send offers a packet for transmission on this interface, honoring the
+// OnEgress hook. It returns false if the packet was tail-dropped.
+func (i *Ifc) Send(pkt *Packet) bool {
+	if i.OnEgress != nil && i.OnEgress(pkt) {
+		return true
+	}
+	return i.Port.Enqueue(pkt)
+}
+
+// EnqueueDirect bypasses the OnEgress hook — used by the hook itself to
+// transmit the packets it has stamped.
+func (i *Ifc) EnqueueDirect(pkt *Packet) bool { return i.Port.Enqueue(pkt) }
+
+// receive runs the ingress MAC: counters, corruption drop, PFC absorption,
+// hook dispatch, then normal node processing.
+func (i *Ifc) receive(pkt *Packet, corrupted bool) {
+	i.In.RxAll++
+	if corrupted {
+		i.In.RxBad++
+		return
+	}
+	i.In.RxOk++
+	i.In.RxBytesOk += uint64(pkt.Size)
+	switch pkt.Kind {
+	case KindPause:
+		// PFC frames are absorbed by the RX MAC and pause this link's
+		// own egress queue of the given class (§3.5).
+		i.Port.Pause(pkt.PauseClass, true)
+		return
+	case KindResume:
+		i.Port.Pause(pkt.PauseClass, false)
+		return
+	}
+	if i.OnIngress != nil && i.OnIngress(pkt) {
+		return
+	}
+	i.node.HandlePacket(pkt, i)
+}
+
+// Link is a full-duplex point-to-point link with independent per-direction
+// corruption models. Corruption drops happen at the receiving MAC, matching
+// where the paper's losses occur.
+type Link struct {
+	sim   *Sim
+	Delay simtime.Duration
+	a, b  *Ifc
+	// Loss models for each direction (a→b and b→a).
+	lossAB, lossBA LossModel
+
+	// DropFn, if set, decides corruption per packet instead of the loss
+	// models — deterministic fault injection for tests and experiments
+	// that must target specific packets.
+	DropFn func(pkt *Packet, from *Ifc) bool
+
+	// onDeliver observes every frame at its delivery decision point
+	// (after the corruption verdict); installed by Tracer.Tap.
+	onDeliver func(pkt *Packet, from *Ifc, corrupted bool)
+}
+
+// A returns the interface on the first node; B the second.
+func (l *Link) A() *Ifc { return l.a }
+
+// B returns the interface on the second node.
+func (l *Link) B() *Ifc { return l.b }
+
+// SetLoss installs the corruption model for the direction transmitted by
+// from. Passing nil restores a lossless direction.
+func (l *Link) SetLoss(from *Ifc, m LossModel) {
+	if m == nil {
+		m = NoLoss{}
+	}
+	if from == l.a {
+		l.lossAB = m
+	} else {
+		l.lossBA = m
+	}
+}
+
+// LossRate returns the configured average corruption rate in the direction
+// transmitted by from.
+func (l *Link) LossRate(from *Ifc) float64 {
+	if from == l.a {
+		return l.lossAB.Rate()
+	}
+	return l.lossBA.Rate()
+}
+
+func (l *Link) deliver(pkt *Packet, from *Ifc) {
+	to := l.b
+	model := l.lossAB
+	if from == l.b {
+		to = l.a
+		model = l.lossBA
+	}
+	var corrupted bool
+	if l.DropFn != nil {
+		corrupted = l.DropFn(pkt, from)
+	} else {
+		corrupted = model.Drops(l.sim.Rng)
+	}
+	if l.onDeliver != nil {
+		l.onDeliver(pkt, from, corrupted)
+	}
+	l.sim.After(l.Delay, func() { to.receive(pkt, corrupted) })
+}
+
+// Connect joins two nodes with a link of the given per-direction rate and
+// propagation delay, registering the new interfaces with both nodes. The
+// returned link starts lossless.
+func Connect(s *Sim, a, b Node, rate simtime.Rate, delay simtime.Duration) *Link {
+	l := &Link{sim: s, Delay: delay, lossAB: NoLoss{}, lossBA: NoLoss{}}
+	ia := &Ifc{node: a, link: l, Name: a.NodeName() + "->" + b.NodeName()}
+	ib := &Ifc{node: b, link: l, Name: b.NodeName() + "->" + a.NodeName()}
+	ia.peer, ib.peer = ib, ia
+	ia.Port = &Port{sim: s, ifc: ia, Rate: rate}
+	ib.Port = &Port{sim: s, ifc: ib, Rate: rate}
+	l.a, l.b = ia, ib
+	register(a, ia)
+	register(b, ib)
+	return l
+}
+
+// Loopback attaches a self-link to a node: a recirculation port. Packets
+// enqueued on the returned interface re-enter the node's HandlePacket (or
+// its OnIngress hook) after serialization at rate plus the loop delay —
+// modeling Tofino's recirculation path used for the Tx buffer and the
+// reordering buffer.
+func Loopback(s *Sim, n Node, rate simtime.Rate, delay simtime.Duration) *Ifc {
+	l := &Link{sim: s, Delay: delay, lossAB: NoLoss{}, lossBA: NoLoss{}}
+	ia := &Ifc{node: n, link: l, Name: n.NodeName() + "->recirc"}
+	ib := &Ifc{node: n, link: l, Name: n.NodeName() + "<-recirc"}
+	ia.peer, ib.peer = ib, ia
+	ia.Port = &Port{sim: s, ifc: ia, Rate: rate}
+	ib.Port = &Port{sim: s, ifc: ib, Rate: rate}
+	l.a, l.b = ia, ib
+	register(n, ia)
+	// Only ia is registered: packets are enqueued on ia and received on ib,
+	// whose ingress path calls back into the node with in == ib. Give ib a
+	// hook slot by registering it too.
+	register(n, ib)
+	return ia
+}
+
+// registrar is implemented by nodes that track their interfaces.
+type registrar interface{ addIfc(*Ifc) }
+
+func register(n Node, i *Ifc) {
+	if r, ok := n.(registrar); ok {
+		r.addIfc(i)
+	}
+}

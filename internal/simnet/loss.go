@@ -1,0 +1,77 @@
+package simnet
+
+import "math/rand"
+
+// LossModel decides, per frame, whether the receiving MAC drops it as
+// corrupted. Implementations may keep state (burst models); a model instance
+// must not be shared between links.
+type LossModel interface {
+	// Drops returns true if the next frame is corrupted and lost.
+	Drops(rng *rand.Rand) bool
+	// Rate returns the model's long-run average loss probability.
+	Rate() float64
+}
+
+// NoLoss is a lossless link direction.
+type NoLoss struct{}
+
+// Drops always returns false.
+func (NoLoss) Drops(*rand.Rand) bool { return false }
+
+// Rate returns 0.
+func (NoLoss) Rate() float64 { return 0 }
+
+// IIDLoss drops each frame independently with probability P — the baseline
+// corruption model used for the paper's stress tests (§4.1).
+type IIDLoss struct{ P float64 }
+
+// Drops samples a Bernoulli(P).
+func (l IIDLoss) Drops(rng *rand.Rand) bool { return rng.Float64() < l.P }
+
+// Rate returns P.
+func (l IIDLoss) Rate() float64 { return l.P }
+
+// GilbertElliott is a two-state burst-loss model reproducing the
+// non-i.i.d. consecutive losses the paper measures in Appendix B.2
+// (Figure 20) and that LinkGuardian's multi-register reTxReqs provisioning
+// handles. In the Good state frames are never dropped; in the Bad state each
+// frame drops with probability DropBad. Transitions happen per frame.
+type GilbertElliott struct {
+	GoodToBad float64 // P(Good -> Bad) per frame
+	BadToGood float64 // P(Bad -> Good) per frame
+	DropBad   float64 // drop probability while Bad
+
+	bad bool
+}
+
+// NewGilbertElliott builds a burst model with the given average loss rate
+// and mean burst length (in frames). meanBurst must be >= 1.
+func NewGilbertElliott(avgLoss, meanBurst float64) *GilbertElliott {
+	if meanBurst < 1 {
+		meanBurst = 1
+	}
+	// While Bad, every frame drops (DropBad = 1); the stationary fraction
+	// of Bad frames must equal avgLoss:
+	//   piBad = g2b / (g2b + b2g) = avgLoss  (for small rates)
+	b2g := 1 / meanBurst
+	g2b := avgLoss * b2g / (1 - avgLoss)
+	return &GilbertElliott{GoodToBad: g2b, BadToGood: b2g, DropBad: 1}
+}
+
+// Drops advances the chain one frame and samples a drop.
+func (g *GilbertElliott) Drops(rng *rand.Rand) bool {
+	if g.bad {
+		if rng.Float64() < g.BadToGood {
+			g.bad = false
+		}
+	} else if rng.Float64() < g.GoodToBad {
+		g.bad = true
+	}
+	return g.bad && rng.Float64() < g.DropBad
+}
+
+// Rate returns the stationary average loss probability.
+func (g *GilbertElliott) Rate() float64 {
+	piBad := g.GoodToBad / (g.GoodToBad + g.BadToGood)
+	return piBad * g.DropBad
+}

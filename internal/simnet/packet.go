@@ -1,0 +1,146 @@
+package simnet
+
+import (
+	"fmt"
+
+	"linkguardian/internal/seqnum"
+	"linkguardian/internal/simtime"
+)
+
+// Kind classifies a packet for the dataplane. Transport-level semantics
+// (TCP segment vs ACK vs RDMA write) live in the opaque Payload; the
+// network only distinguishes the kinds it must treat specially.
+type Kind uint8
+
+// Packet kinds.
+const (
+	KindData      Kind = iota // regular traffic (incl. transport ACKs)
+	KindLGAck                 // explicit LinkGuardian ACK (min-size, §3.1)
+	KindLossNotif             // LinkGuardian loss notification (App. A.1)
+	KindDummy                 // LinkGuardian dummy packet (§3.2)
+	KindPause                 // PFC pause frame (§3.5)
+	KindResume                // PFC resume frame
+	KindTimer                 // switch packet-generator timer packet
+)
+
+var kindNames = [...]string{"data", "lg-ack", "loss-notif", "dummy", "pause", "resume", "timer"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Standard egress queue indices; lower index = strictly higher priority
+// (Figure 5: ReTx/loss-notifications > normal > dummy/ACK). Dummies and
+// explicit ACKs get separate strictly-low classes so that, with
+// bidirectional protection (§5), one port can host both self-replenishing
+// queues — its own direction's dummies and the reverse direction's ACKs.
+const (
+	PrioHigh   = 0 // retransmissions, loss notifications, PFC
+	PrioNormal = 1 // regular traffic
+	PrioLow    = 2 // self-replenishing dummy queue
+	PrioAck    = 3 // self-replenishing explicit-ACK queue
+	NumPrios   = 4
+)
+
+// LGHeaderBytes is the LinkGuardian data/ACK header size: 16-bit seqNo,
+// era bit and packet-type metadata packed into 3 bytes (§3.5).
+const LGHeaderBytes = 3
+
+// LGData is the LinkGuardian data header the sender switch prepends to each
+// protected packet (and to dummy packets).
+type LGData struct {
+	Seq   seqnum.Seq
+	Chan  uint8 // protecting instance's channel (per-class protection, §5)
+	Retx  bool  // retransmitted copy, not the original
+	Dummy bool  // dummy packet: carries LastTx, consumes no seqNo
+	// LastTx is meaningful only on dummy packets: the seqNo of the last
+	// protected packet actually transmitted, letting the receiver detect a
+	// tail loss without a new sequence number.
+	LastTx seqnum.Seq
+}
+
+// LGAck is the LinkGuardian ACK header: the receiver's cumulative
+// latestRxSeqNo, piggybacked on reverse traffic or carried by an explicit
+// ACK packet.
+type LGAck struct {
+	LatestRx seqnum.Seq
+	Chan     uint8
+	Valid    bool
+}
+
+// LossNotif is the payload of a loss-notification packet: the missing
+// sequence numbers (up to the consecutive-loss provisioning of §3.5) plus
+// the post-gap latestRxSeqNo.
+type LossNotif struct {
+	Missing  []seqnum.Seq
+	LatestRx seqnum.Seq
+	Chan     uint8
+}
+
+// Packet is the unit of simulation. Size is the L2 frame length in bytes
+// including all headers; wire-time overheads (preamble, IFG, minimum frame)
+// are applied by the transmitter.
+type Packet struct {
+	ID   uint64
+	Kind Kind
+	Size int
+	Prio int
+
+	// ECN bits.
+	ECNCapable bool
+	CE         bool
+
+	// PFC pause/resume frames carry the priority class they pause.
+	PauseClass int
+
+	// LinkGuardian headers (nil when the feature is inactive on the path).
+	LG    *LGData
+	LGAck *LGAck
+	Notif *LossNotif
+
+	// FlowID routes the packet and demultiplexes it at hosts.
+	FlowID int
+	// ToHost is the destination host name used by static routes.
+	ToHost string
+
+	// Payload carries transport state (segment metadata); opaque here.
+	Payload any
+
+	// SentAt is stamped when the packet first leaves its source, for
+	// latency accounting.
+	SentAt simtime.Time
+
+	// RxBuffered marks a packet currently held in the receiver-side
+	// reordering buffer (Algorithm 1's mark_pkt_as_rx_buffered).
+	RxBuffered bool
+}
+
+// Clone returns a copy of the packet with a fresh ID and deep-copied
+// LinkGuardian headers — used by egress mirroring and multicast. The
+// transport payload is shared: the network never mutates it.
+func (p *Packet) Clone(s *Sim) *Packet {
+	c := *p
+	c.ID = s.pktID()
+	if p.LG != nil {
+		lg := *p.LG
+		c.LG = &lg
+	}
+	if p.LGAck != nil {
+		a := *p.LGAck
+		c.LGAck = &a
+	}
+	if p.Notif != nil {
+		n := *p.Notif
+		n.Missing = append([]seqnum.Seq(nil), p.Notif.Missing...)
+		c.Notif = &n
+	}
+	return &c
+}
+
+// NewPacket allocates a data packet of the given size destined to a host.
+func (s *Sim) NewPacket(kind Kind, size int, toHost string) *Packet {
+	return &Packet{ID: s.pktID(), Kind: kind, Size: size, Prio: PrioNormal, ToHost: toHost}
+}

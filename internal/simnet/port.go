@@ -1,0 +1,171 @@
+package simnet
+
+import "linkguardian/internal/simtime"
+
+// Queue is one FIFO class of an egress port. The zero value is an unbounded,
+// unpaused queue.
+type Queue struct {
+	pkts  []*Packet
+	head  int
+	bytes int
+
+	// Paused stops dequeues from this class (PFC). An in-flight frame
+	// finishes transmitting; pausing only prevents new dequeues.
+	paused bool
+
+	// MaxBytes, if positive, tail-drops enqueues that would exceed it.
+	MaxBytes int
+
+	// ECNThreshold, if positive, sets CE on ECN-capable packets enqueued
+	// while the queue holds more than this many bytes (DCTCP-style
+	// instantaneous marking).
+	ECNThreshold int
+
+	// Replenish, if set, makes the queue self-replenishing: each time a
+	// packet is dequeued for transmission, Replenish() is enqueued back —
+	// the egress-mirroring trick behind the dummy and explicit-ACK queues
+	// (§3.1, §3.2). Returning nil skips a replenish.
+	Replenish func() *Packet
+
+	// OnDequeue, if set, is called just before a packet is transmitted,
+	// letting protocol code stamp fresh state (e.g. the latest cumulative
+	// ACK) at wire time rather than enqueue time.
+	OnDequeue func(*Packet)
+
+	// Drops counts tail drops due to MaxBytes.
+	Drops uint64
+}
+
+// Len returns the number of queued packets.
+func (q *Queue) Len() int { return len(q.pkts) - q.head }
+
+// Bytes returns the queued byte count.
+func (q *Queue) Bytes() int { return q.bytes }
+
+// Paused reports the PFC pause state.
+func (q *Queue) Paused() bool { return q.paused }
+
+func (q *Queue) push(p *Packet) bool {
+	if q.MaxBytes > 0 && q.bytes+p.Size > q.MaxBytes {
+		q.Drops++
+		return false
+	}
+	if q.ECNThreshold > 0 && p.ECNCapable && q.bytes > q.ECNThreshold {
+		p.CE = true
+	}
+	q.pkts = append(q.pkts, p)
+	q.bytes += p.Size
+	return true
+}
+
+func (q *Queue) pop() *Packet {
+	p := q.pkts[q.head]
+	q.pkts[q.head] = nil
+	q.head++
+	q.bytes -= p.Size
+	if q.head == len(q.pkts) {
+		q.pkts = q.pkts[:0]
+		q.head = 0
+	} else if q.head > 64 && q.head*2 > len(q.pkts) {
+		n := copy(q.pkts, q.pkts[q.head:])
+		for i := n; i < len(q.pkts); i++ {
+			q.pkts[i] = nil
+		}
+		q.pkts = q.pkts[:n]
+		q.head = 0
+	}
+	return p
+}
+
+// Port is an egress transmitter with strict-priority queues feeding one
+// direction of a link. Queue 0 has the highest priority.
+type Port struct {
+	sim   *Sim
+	ifc   *Ifc
+	Rate  simtime.Rate
+	qs    [NumPrios]Queue
+	busy  bool
+	txPkt *Packet // frame currently on the wire, nil when idle
+
+	// TxFrames/TxBytes count frames fully serialized onto the wire.
+	TxFrames uint64
+	TxBytes  uint64
+	// BusyTime accumulates wire occupancy for utilization accounting.
+	BusyTime simtime.Duration
+}
+
+// Q returns the queue for a priority class.
+func (p *Port) Q(prio int) *Queue { return &p.qs[prio] }
+
+// QueuedBytes returns the total bytes across all classes.
+func (p *Port) QueuedBytes() int {
+	n := 0
+	for i := range p.qs {
+		n += p.qs[i].bytes
+	}
+	return n
+}
+
+// Enqueue places a packet on its priority class and kicks the transmitter.
+// It returns false if the class tail-dropped the packet.
+func (p *Port) Enqueue(pkt *Packet) bool {
+	prio := pkt.Prio
+	if prio < 0 || prio >= NumPrios {
+		prio = PrioNormal
+	}
+	ok := p.qs[prio].push(pkt)
+	if ok {
+		p.kick()
+	}
+	return ok
+}
+
+// Pause sets the PFC pause state of one class and kicks the transmitter on
+// resume.
+func (p *Port) Pause(class int, paused bool) {
+	p.qs[class].paused = paused
+	if !paused {
+		p.kick()
+	}
+}
+
+func (p *Port) kick() {
+	if p.busy {
+		return
+	}
+	p.transmitNext()
+}
+
+func (p *Port) transmitNext() {
+	var q *Queue
+	for i := range p.qs {
+		if p.qs[i].Len() > 0 && !p.qs[i].paused {
+			q = &p.qs[i]
+			break
+		}
+	}
+	if q == nil {
+		return
+	}
+	pkt := q.pop()
+	if q.OnDequeue != nil {
+		q.OnDequeue(pkt)
+	}
+	if q.Replenish != nil {
+		if r := q.Replenish(); r != nil {
+			q.push(r)
+		}
+	}
+	p.busy = true
+	p.txPkt = pkt
+	d := p.Rate.Serialize(simtime.WireBytes(pkt.Size))
+	p.sim.After(d, func() {
+		p.busy = false
+		p.txPkt = nil
+		p.TxFrames++
+		p.TxBytes += uint64(pkt.Size)
+		p.BusyTime += d
+		p.ifc.link.deliver(pkt, p.ifc)
+		p.transmitNext()
+	})
+}

@@ -1,0 +1,80 @@
+// Package simnet is a deterministic, nanosecond-resolution discrete-event
+// network simulator: the substrate on which LinkGuardian runs in this
+// reproduction, standing in for the Intel Tofino testbed of the paper.
+//
+// It models exactly the dataplane features LinkGuardian relies on:
+//
+//   - egress ports with strict-priority queues and per-queue PFC pause,
+//   - self-replenishing queues (the paper's egress-mirroring trick, §3.1
+//     and §3.2),
+//   - links with per-direction corruption models (i.i.d. and bursty
+//     Gilbert–Elliott losses dropped at the receiving MAC),
+//   - switches with a fixed pipeline latency, per-port frame counters
+//     (framesRxAll/framesRxOk, as polled by corruptd), recirculation
+//     loopback ports, ECN marking, and ingress/egress hooks where the
+//     LinkGuardian state machines attach,
+//   - hosts with a configurable stack delay for realistic end-to-end RTTs.
+//
+// A Sim owns a single event queue and RNG; a run is single-threaded and
+// reproducible from its seed. Independent Sims may run concurrently.
+package simnet
+
+import (
+	"math/rand"
+
+	"linkguardian/internal/eventq"
+	"linkguardian/internal/simtime"
+)
+
+// Sim is one simulation universe: an event queue, a seeded RNG, and the
+// topology hung off it. Create with NewSim.
+type Sim struct {
+	Q   eventq.Queue
+	Rng *rand.Rand
+
+	nextPktID uint64
+}
+
+// NewSim returns a simulator seeded for reproducibility.
+func NewSim(seed int64) *Sim {
+	return &Sim{Rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() simtime.Time { return simtime.Time(s.Q.Now()) }
+
+// At schedules fn at an absolute simulated time.
+func (s *Sim) At(t simtime.Time, fn func()) *eventq.Event {
+	return s.Q.Schedule(int64(t), fn)
+}
+
+// After schedules fn d after the current time.
+func (s *Sim) After(d simtime.Duration, fn func()) *eventq.Event {
+	return s.Q.After(int64(d), fn)
+}
+
+// Cancel removes a pending event; safe on nil/fired events.
+func (s *Sim) Cancel(e *eventq.Event) { s.Q.Cancel(e) }
+
+// Run advances the simulation until the given instant.
+func (s *Sim) Run(until simtime.Time) { s.Q.RunUntil(int64(until)) }
+
+// RunFor advances the simulation by d.
+func (s *Sim) RunFor(d simtime.Duration) { s.Run(s.Now().Add(d)) }
+
+// Every invokes fn every interval until it returns false, starting one
+// interval from now.
+func (s *Sim) Every(interval simtime.Duration, fn func() bool) {
+	var tick func()
+	tick = func() {
+		if fn() {
+			s.After(interval, tick)
+		}
+	}
+	s.After(interval, tick)
+}
+
+func (s *Sim) pktID() uint64 {
+	s.nextPktID++
+	return s.nextPktID
+}

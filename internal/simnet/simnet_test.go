@@ -1,0 +1,368 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+
+	"linkguardian/internal/simtime"
+)
+
+// lineTopo builds h1 - sw1 - sw2 - h2 with the given link rate and delay.
+func lineTopo(s *Sim, rate simtime.Rate, delay simtime.Duration) (h1, h2 *Host, sw1, sw2 *Switch, mid *Link) {
+	h1 = NewHost(s, "h1")
+	h2 = NewHost(s, "h2")
+	sw1 = NewSwitch(s, "sw1")
+	sw2 = NewSwitch(s, "sw2")
+	l1 := Connect(s, h1, sw1, rate, delay)
+	mid = Connect(s, sw1, sw2, rate, delay)
+	l2 := Connect(s, sw2, h2, rate, delay)
+	sw1.AddRoute("h2", mid.A())
+	sw1.AddRoute("h1", l1.B())
+	sw2.AddRoute("h2", l2.A())
+	sw2.AddRoute("h1", mid.B())
+	return
+}
+
+func TestEndToEndDelivery(t *testing.T) {
+	s := NewSim(1)
+	h1, h2, _, _, _ := lineTopo(s, simtime.Rate100G, 100*simtime.Nanosecond)
+	var got *Packet
+	var at simtime.Time
+	h2.OnReceive = func(p *Packet) { got, at = p, s.Now() }
+	pkt := s.NewPacket(KindData, 1500, "h2")
+	h1.Send(pkt)
+	s.RunFor(simtime.Millisecond)
+	if got == nil {
+		t.Fatal("packet not delivered")
+	}
+	if got.ID != pkt.ID {
+		t.Fatal("wrong packet delivered")
+	}
+	// Latency: 2 stack delays (4µs each) + 3 serializations (~122ns each)
+	// + 3 props (100ns) + 2 pipeline latencies (1µs each) ≈ 10.7µs.
+	if at < simtime.Time(10*simtime.Microsecond) || at > simtime.Time(12*simtime.Microsecond) {
+		t.Fatalf("delivery at %v, want ~10.7µs", at)
+	}
+}
+
+func TestStrictPriority(t *testing.T) {
+	s := NewSim(1)
+	h1 := NewHost(s, "h1")
+	h2 := NewHost(s, "h2")
+	l := Connect(s, h1, h2, simtime.Rate10G, 0)
+	var order []int
+	h2.OnReceive = func(p *Packet) { order = append(order, p.Prio) }
+	// Fill the port while it is busy with a first packet, then check that
+	// high priority jumps the normal queue.
+	first := s.NewPacket(KindData, 1500, "h2")
+	l.A().Send(first)
+	for i := 0; i < 3; i++ {
+		p := s.NewPacket(KindData, 1500, "h2")
+		p.Prio = PrioNormal
+		l.A().Send(p)
+	}
+	hi := s.NewPacket(KindData, 500, "h2")
+	hi.Prio = PrioHigh
+	l.A().Send(hi)
+	lo := s.NewPacket(KindData, 500, "h2")
+	lo.Prio = PrioLow
+	l.A().Send(lo)
+	s.RunFor(simtime.Millisecond)
+	// first is in flight; then PrioHigh, then the normals, then low.
+	want := []int{PrioNormal, PrioHigh, PrioNormal, PrioNormal, PrioNormal, PrioLow}
+	if len(order) != len(want) {
+		t.Fatalf("delivered %d packets, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("priority order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestPFCPauseResume(t *testing.T) {
+	s := NewSim(1)
+	h1 := NewHost(s, "h1")
+	h2 := NewHost(s, "h2")
+	h1.StackDelay, h2.StackDelay = 0, 0
+	l := Connect(s, h1, h2, simtime.Rate10G, 0)
+	var n int
+	h2.OnReceive = func(p *Packet) { n++ }
+	// Pause the normal class on h1's egress before sending.
+	l.A().Port.Pause(PrioNormal, true)
+	for i := 0; i < 5; i++ {
+		l.A().Send(s.NewPacket(KindData, 1500, "h2"))
+	}
+	s.RunFor(100 * simtime.Microsecond)
+	if n != 0 {
+		t.Fatalf("paused queue transmitted %d packets", n)
+	}
+	if got := l.A().Port.Q(PrioNormal).Bytes(); got != 5*1500 {
+		t.Fatalf("paused queue holds %d bytes, want 7500", got)
+	}
+	l.A().Port.Pause(PrioNormal, false)
+	s.RunFor(100 * simtime.Microsecond)
+	if n != 5 {
+		t.Fatalf("after resume delivered %d, want 5", n)
+	}
+}
+
+func TestPauseFrameAbsorbedByMAC(t *testing.T) {
+	s := NewSim(1)
+	h1 := NewHost(s, "h1")
+	h2 := NewHost(s, "h2")
+	h1.StackDelay, h2.StackDelay = 0, 0
+	l := Connect(s, h1, h2, simtime.Rate10G, 0)
+	received := 0
+	h1.OnReceive = func(p *Packet) { received++ }
+	// h2 sends a PFC pause for the normal class; it must pause h1's egress
+	// normal queue and never reach h1's stack.
+	pause := s.NewPacket(KindPause, 64, "h1")
+	pause.PauseClass = PrioNormal
+	pause.Prio = PrioHigh
+	l.B().Send(pause)
+	s.RunFor(10 * simtime.Microsecond)
+	if received != 0 {
+		t.Fatal("PFC frame leaked past the MAC")
+	}
+	if !l.A().Port.Q(PrioNormal).Paused() {
+		t.Fatal("pause frame did not pause the egress queue")
+	}
+	resume := s.NewPacket(KindResume, 64, "h1")
+	resume.PauseClass = PrioNormal
+	resume.Prio = PrioHigh
+	l.B().Send(resume)
+	s.RunFor(10 * simtime.Microsecond)
+	if l.A().Port.Q(PrioNormal).Paused() {
+		t.Fatal("resume frame did not unpause the egress queue")
+	}
+}
+
+func TestSelfReplenishingQueue(t *testing.T) {
+	s := NewSim(1)
+	h1 := NewHost(s, "h1")
+	h2 := NewHost(s, "h2")
+	h1.StackDelay, h2.StackDelay = 0, 0
+	l := Connect(s, h1, h2, simtime.Rate10G, 0)
+	dummies, datas := 0, 0
+	h2.OnReceive = func(p *Packet) {
+		if p.Kind == KindDummy {
+			dummies++
+		} else {
+			datas++
+		}
+	}
+	q := l.A().Port.Q(PrioLow)
+	q.Replenish = func() *Packet {
+		d := s.NewPacket(KindDummy, 64, "h2")
+		d.Prio = PrioLow
+		return d
+	}
+	seed := s.NewPacket(KindDummy, 64, "h2")
+	seed.Prio = PrioLow
+	l.A().Send(seed)
+	// With no normal traffic, dummies flow continuously.
+	s.RunFor(10 * simtime.Microsecond)
+	if dummies < 100 {
+		t.Fatalf("self-replenishing queue sent only %d dummies in 10µs at 10G", dummies)
+	}
+	// Normal traffic strictly preempts the dummy stream.
+	before := dummies
+	for i := 0; i < 8; i++ {
+		l.A().Send(s.NewPacket(KindData, 1500, "h2"))
+	}
+	// 8 serializations of 1520 wire bytes at 10G (1216ns each) plus one
+	// in-flight dummy (68ns) and a small margin.
+	s.RunFor(8*1216*simtime.Nanosecond + 102*simtime.Nanosecond)
+	if datas != 8 {
+		t.Fatalf("delivered %d data packets, want 8", datas)
+	}
+	if dummies-before > 1 {
+		t.Fatalf("dummy queue not preempted: %d dummies during data burst", dummies-before)
+	}
+}
+
+func TestECNMarking(t *testing.T) {
+	s := NewSim(1)
+	h1 := NewHost(s, "h1")
+	h2 := NewHost(s, "h2")
+	h1.StackDelay, h2.StackDelay = 0, 0
+	l := Connect(s, h1, h2, simtime.Rate10G, 0)
+	q := l.A().Port.Q(PrioNormal)
+	q.ECNThreshold = 3000
+	var marked, unmarked int
+	h2.OnReceive = func(p *Packet) {
+		if p.CE {
+			marked++
+		} else {
+			unmarked++
+		}
+	}
+	for i := 0; i < 10; i++ {
+		p := s.NewPacket(KindData, 1500, "h2")
+		p.ECNCapable = true
+		l.A().Send(p)
+	}
+	s.RunFor(simtime.Millisecond)
+	// Packet 1 goes straight to the wire; packets 2-4 enqueue at 0, 1500
+	// and 3000 queued bytes (not strictly above the threshold); packets
+	// 5-10 see >3000 queued bytes and get marked.
+	if unmarked != 4 || marked != 6 {
+		t.Fatalf("marked=%d unmarked=%d, want 6/4", marked, unmarked)
+	}
+}
+
+func TestTailDrop(t *testing.T) {
+	s := NewSim(1)
+	h1 := NewHost(s, "h1")
+	h2 := NewHost(s, "h2")
+	h1.StackDelay, h2.StackDelay = 0, 0
+	l := Connect(s, h1, h2, simtime.Rate10G, 0)
+	q := l.A().Port.Q(PrioNormal)
+	q.MaxBytes = 4000
+	n := 0
+	h2.OnReceive = func(p *Packet) { n++ }
+	for i := 0; i < 10; i++ {
+		l.A().Send(s.NewPacket(KindData, 1500, "h2"))
+	}
+	s.RunFor(simtime.Millisecond)
+	// 1 in flight + 2 queued (3000B < 4000) fit; the rest drop.
+	if n != 3 {
+		t.Fatalf("delivered %d, want 3", n)
+	}
+	if q.Drops != 7 {
+		t.Fatalf("Drops = %d, want 7", q.Drops)
+	}
+}
+
+func TestCorruptionCountersAndRate(t *testing.T) {
+	s := NewSim(42)
+	h1 := NewHost(s, "h1")
+	h2 := NewHost(s, "h2")
+	h1.StackDelay, h2.StackDelay = 0, 0
+	l := Connect(s, h1, h2, simtime.Rate100G, 0)
+	l.SetLoss(l.A(), IIDLoss{P: 0.01})
+	delivered := 0
+	h2.OnReceive = func(p *Packet) { delivered++ }
+	const N = 100000
+	for i := 0; i < N; i++ {
+		l.A().Send(s.NewPacket(KindData, 1500, "h2"))
+	}
+	// 100K MTU frames at 100G take ~12.3ms of wire time.
+	s.RunFor(20 * simtime.Millisecond)
+	in := &l.B().In
+	if in.RxAll != N {
+		t.Fatalf("RxAll = %d, want %d", in.RxAll, N)
+	}
+	if in.RxOk+in.RxBad != in.RxAll {
+		t.Fatal("counter identity violated")
+	}
+	got := float64(in.RxBad) / float64(in.RxAll)
+	if math.Abs(got-0.01) > 0.002 {
+		t.Fatalf("observed loss %v, want ~0.01", got)
+	}
+	if uint64(delivered) != in.RxOk {
+		t.Fatalf("delivered %d != RxOk %d", delivered, in.RxOk)
+	}
+	// Reverse direction stays lossless (unidirectional corruption, §3).
+	for i := 0; i < 1000; i++ {
+		l.B().Send(s.NewPacket(KindData, 1500, "h1"))
+	}
+	s.RunFor(20 * simtime.Millisecond)
+	if l.A().In.RxBad != 0 {
+		t.Fatal("reverse direction saw corruption")
+	}
+}
+
+func TestGilbertElliottBursts(t *testing.T) {
+	s := NewSim(7)
+	ge := NewGilbertElliott(0.01, 3)
+	if math.Abs(ge.Rate()-0.01) > 1e-9 {
+		t.Fatalf("GE stationary rate = %v, want 0.01", ge.Rate())
+	}
+	// Measure burst-length distribution directly.
+	drops, bursts, cur := 0, 0, 0
+	const N = 2_000_000
+	for i := 0; i < N; i++ {
+		if ge.Drops(s.Rng) {
+			drops++
+			cur++
+		} else if cur > 0 {
+			bursts++
+			cur = 0
+		}
+	}
+	rate := float64(drops) / N
+	if math.Abs(rate-0.01) > 0.003 {
+		t.Fatalf("GE observed rate %v, want ~0.01", rate)
+	}
+	meanBurst := float64(drops) / float64(bursts)
+	if meanBurst < 2 || meanBurst > 4.5 {
+		t.Fatalf("mean burst length %v, want ~3", meanBurst)
+	}
+}
+
+func TestLoopbackRecirculation(t *testing.T) {
+	s := NewSim(1)
+	sw := NewSwitch(s, "sw")
+	sw.PipelineLatency = 500 * simtime.Nanosecond
+	rec := Loopback(s, sw, simtime.Rate100G, sw.PipelineLatency)
+	loops := 0
+	rec.Peer().OnIngress = func(p *Packet) bool {
+		loops++
+		if loops < 5 {
+			rec.EnqueueDirect(p)
+		}
+		return true
+	}
+	rec.EnqueueDirect(s.NewPacket(KindData, 1500, ""))
+	s.RunFor(simtime.Millisecond)
+	if loops != 5 {
+		t.Fatalf("recirculated %d times, want 5", loops)
+	}
+}
+
+func TestCloneDeepCopies(t *testing.T) {
+	s := NewSim(1)
+	p := s.NewPacket(KindData, 100, "h2")
+	p.LG = &LGData{Retx: false}
+	p.Notif = &LossNotif{}
+	c := p.Clone(s)
+	if c.ID == p.ID {
+		t.Fatal("clone shares ID")
+	}
+	c.LG.Retx = true
+	if p.LG.Retx {
+		t.Fatal("clone shares LG header")
+	}
+}
+
+func TestSwitchDropsUnroutable(t *testing.T) {
+	s := NewSim(1)
+	h1, _, sw1, _, _ := lineTopo(s, simtime.Rate25G, 0)
+	h1.Send(s.NewPacket(KindData, 100, "nowhere"))
+	s.RunFor(simtime.Millisecond)
+	if sw1.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", sw1.Dropped)
+	}
+}
+
+func TestPortUtilizationCounters(t *testing.T) {
+	s := NewSim(1)
+	h1 := NewHost(s, "h1")
+	h2 := NewHost(s, "h2")
+	h1.StackDelay = 0
+	l := Connect(s, h1, h2, simtime.Rate25G, 0)
+	for i := 0; i < 100; i++ {
+		l.A().Send(s.NewPacket(KindData, 1500, "h2"))
+	}
+	s.RunFor(simtime.Millisecond)
+	p := l.A().Port
+	if p.TxFrames != 100 || p.TxBytes != 150000 {
+		t.Fatalf("TxFrames=%d TxBytes=%d", p.TxFrames, p.TxBytes)
+	}
+	want := simtime.Rate25G.Serialize(simtime.WireBytes(1500)) * 100
+	if p.BusyTime != want {
+		t.Fatalf("BusyTime = %v, want %v", p.BusyTime, want)
+	}
+}

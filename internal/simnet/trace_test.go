@@ -1,0 +1,82 @@
+package simnet
+
+import (
+	"strings"
+	"testing"
+
+	"linkguardian/internal/simtime"
+)
+
+func TestTracerCapturesFrames(t *testing.T) {
+	s := NewSim(1)
+	h1 := NewHost(s, "h1")
+	h2 := NewHost(s, "h2")
+	h1.StackDelay, h2.StackDelay = 0, 0
+	l := Connect(s, h1, h2, simtime.Rate25G, 0)
+	l.SetLoss(l.A(), IIDLoss{P: 0.5})
+	tr := NewTracer(4096)
+	tr.Tap(s, l)
+	for i := 0; i < 1000; i++ {
+		p := s.NewPacket(KindData, 500, "h2")
+		p.FlowID = i
+		l.A().Send(p)
+	}
+	s.RunFor(simtime.Millisecond)
+	evs := tr.Events()
+	if len(evs) != 1000 || tr.Seen != 1000 {
+		t.Fatalf("captured %d events, seen %d", len(evs), tr.Seen)
+	}
+	corrupted := tr.Filter(func(e TraceEvent) bool { return e.Corrupted })
+	if len(corrupted) < 400 || len(corrupted) > 600 {
+		t.Fatalf("corrupted events %d, want ~500", len(corrupted))
+	}
+	// Events are time-ordered and render with the corruption marker.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatal("events out of time order")
+		}
+	}
+	if !strings.Contains(corrupted[0].String(), "CORRUPTED") {
+		t.Fatalf("String() missing marker: %s", corrupted[0])
+	}
+}
+
+func TestTracerRingOverwrite(t *testing.T) {
+	s := NewSim(1)
+	h1 := NewHost(s, "h1")
+	h2 := NewHost(s, "h2")
+	h1.StackDelay = 0
+	l := Connect(s, h1, h2, simtime.Rate25G, 0)
+	tr := NewTracer(16)
+	tr.Tap(s, l)
+	for i := 0; i < 100; i++ {
+		p := s.NewPacket(KindData, 100, "h2")
+		p.FlowID = i
+		l.A().Send(p)
+	}
+	s.RunFor(simtime.Millisecond)
+	evs := tr.Events()
+	if len(evs) != 16 || tr.Seen != 100 {
+		t.Fatalf("retained %d / seen %d, want 16/100", len(evs), tr.Seen)
+	}
+	// The ring keeps the most recent events in order.
+	if evs[0].FlowID != 84 || evs[15].FlowID != 99 {
+		t.Fatalf("ring window wrong: first=%d last=%d", evs[0].FlowID, evs[15].FlowID)
+	}
+}
+
+func TestTapsStack(t *testing.T) {
+	s := NewSim(1)
+	h1 := NewHost(s, "h1")
+	h2 := NewHost(s, "h2")
+	h1.StackDelay = 0
+	l := Connect(s, h1, h2, simtime.Rate25G, 0)
+	t1, t2 := NewTracer(8), NewTracer(8)
+	t1.Tap(s, l)
+	t2.Tap(s, l)
+	l.A().Send(s.NewPacket(KindData, 100, "h2"))
+	s.RunFor(simtime.Millisecond)
+	if t1.Seen != 1 || t2.Seen != 1 {
+		t.Fatalf("taps did not stack: %d/%d", t1.Seen, t2.Seen)
+	}
+}

@@ -1,0 +1,110 @@
+package simtime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeArithmetic(t *testing.T) {
+	var t0 Time
+	t1 := t0.Add(5 * Microsecond)
+	if got := t1.Sub(t0); got != 5*Microsecond {
+		t.Fatalf("Sub = %v, want 5µs", got)
+	}
+	if !t0.Before(t1) || !t1.After(t0) {
+		t.Fatalf("ordering broken: t0=%v t1=%v", t0, t1)
+	}
+	if got := Time(1500000000).Seconds(); got != 1.5 {
+		t.Fatalf("Seconds = %v, want 1.5", got)
+	}
+}
+
+func TestRateString(t *testing.T) {
+	cases := map[Rate]string{
+		Rate10G:    "10G",
+		Rate100G:   "100G",
+		25 * Mbps:  "25M",
+		64 * Kbps:  "64K",
+		Rate(1234): "1234bps",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("Rate(%d).String() = %q, want %q", int64(r), got, want)
+		}
+	}
+}
+
+func TestSerializeKnownValues(t *testing.T) {
+	// 1538 wire bytes at 100G is ~123 ns — the paper's §5 quotes "about
+	// ~123 ns to serialize 1,538 bytes on a 100G link".
+	got := Rate100G.Serialize(1538)
+	if got < 123*Nanosecond || got > 124*Nanosecond {
+		t.Fatalf("100G/1538B = %v, want ~123ns", got)
+	}
+	// 1538 bytes at 10G is 1230.4 ns, rounded up.
+	if got := Rate10G.Serialize(1538); got != 1231*Nanosecond {
+		t.Fatalf("10G/1538B = %v, want 1231ns", got)
+	}
+	if got := Rate25G.Serialize(0); got != 0 {
+		t.Fatalf("0 bytes should serialize in 0, got %v", got)
+	}
+}
+
+func TestSerializePanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Serialize with rate 0 did not panic")
+		}
+	}()
+	Rate(0).Serialize(100)
+}
+
+func TestBytesIn(t *testing.T) {
+	// 100G drains 12.5 bytes per ns.
+	if got := Rate100G.BytesIn(time.Microsecond); got != 12500 {
+		t.Fatalf("BytesIn(1µs)@100G = %d, want 12500", got)
+	}
+	if got := Rate10G.BytesIn(0); got != 0 {
+		t.Fatalf("BytesIn(0) = %d, want 0", got)
+	}
+	if got := Rate10G.BytesIn(-time.Second); got != 0 {
+		t.Fatalf("BytesIn(negative) = %d, want 0", got)
+	}
+}
+
+func TestWireBytes(t *testing.T) {
+	if got := WireBytes(MTUFrame); got != 1538 {
+		t.Fatalf("WireBytes(MTU frame) = %d, want 1538", got)
+	}
+	// Runt frames are padded to the 64-byte minimum.
+	if got := WireBytes(1); got != MinFrame+EthOverhead {
+		t.Fatalf("WireBytes(1) = %d, want %d", got, MinFrame+EthOverhead)
+	}
+}
+
+// Property: serialization time is monotone in size and inversely monotone in
+// rate, and BytesIn(Serialize(n)) >= n (ceil rounding never undercounts).
+func TestSerializeProperties(t *testing.T) {
+	f := func(sz uint16, fast bool) bool {
+		n := int(sz)
+		r := Rate25G
+		if fast {
+			r = Rate100G
+		}
+		d := r.Serialize(n)
+		if d < 0 {
+			return false
+		}
+		if r.Serialize(n+1) < d {
+			return false
+		}
+		if fast && Rate25G.Serialize(n) < d {
+			return false
+		}
+		return r.BytesIn(d) >= int64(n) || n == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,141 @@
+// Package stats provides the percentile, CDF and summary utilities used to
+// report the paper's figures and tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. It returns NaN for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return percentileSorted(s, p)
+}
+
+func percentileSorted(s []float64, p float64) float64 {
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Dist is a sorted sample distribution supporting repeated percentile and
+// CDF queries without re-sorting.
+type Dist struct{ s []float64 }
+
+// NewDist copies and sorts xs.
+func NewDist(xs []float64) *Dist {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return &Dist{s: s}
+}
+
+// N returns the sample count.
+func (d *Dist) N() int { return len(d.s) }
+
+// Percentile returns the p-th percentile.
+func (d *Dist) Percentile(p float64) float64 {
+	if len(d.s) == 0 {
+		return math.NaN()
+	}
+	return percentileSorted(d.s, p)
+}
+
+// CDFAt returns the empirical CDF value at x: the fraction of samples <= x.
+func (d *Dist) CDFAt(x float64) float64 {
+	if len(d.s) == 0 {
+		return math.NaN()
+	}
+	i := sort.SearchFloat64s(d.s, x)
+	for i < len(d.s) && d.s[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(d.s))
+}
+
+// Min returns the smallest sample.
+func (d *Dist) Min() float64 { return d.Percentile(0) }
+
+// Max returns the largest sample.
+func (d *Dist) Max() float64 { return d.Percentile(100) }
+
+// Mean returns the arithmetic mean.
+func (d *Dist) Mean() float64 {
+	if len(d.s) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range d.s {
+		sum += v
+	}
+	return sum / float64(len(d.s))
+}
+
+// StdDev returns the population standard deviation.
+func (d *Dist) StdDev() float64 {
+	if len(d.s) == 0 {
+		return math.NaN()
+	}
+	m := d.Mean()
+	var ss float64
+	for _, v := range d.s {
+		ss += (v - m) * (v - m)
+	}
+	return math.Sqrt(ss / float64(len(d.s)))
+}
+
+// Summary is the five-number summary used by the paper's box-and-whisker
+// plots (Figure 14: min, 25th, 50th, 75th, max).
+type Summary struct {
+	Min, P25, P50, P75, Max float64
+}
+
+// Summarize computes the five-number summary.
+func (d *Dist) Summarize() Summary {
+	return Summary{
+		Min: d.Percentile(0),
+		P25: d.Percentile(25),
+		P50: d.Percentile(50),
+		P75: d.Percentile(75),
+		Max: d.Percentile(100),
+	}
+}
+
+// String formats the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("min=%.4g p25=%.4g p50=%.4g p75=%.4g max=%.4g", s.Min, s.P25, s.P50, s.P75, s.Max)
+}
+
+// CDFPoints returns up to n evenly spaced (x, F(x)) points of the empirical
+// CDF, suitable for plotting a figure series.
+func (d *Dist) CDFPoints(n int) [][2]float64 {
+	if len(d.s) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(d.s) {
+		n = len(d.s)
+	}
+	pts := make([][2]float64, 0, n)
+	for i := 0; i < n; i++ {
+		idx := i * (len(d.s) - 1) / max(n-1, 1)
+		pts = append(pts, [2]float64{d.s[idx], float64(idx+1) / float64(len(d.s))})
+	}
+	return pts
+}

@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPercentileBasics(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := map[float64]float64{0: 1, 50: 3, 100: 5, 25: 2, 75: 4}
+	for p, want := range cases {
+		if got := Percentile(xs, p); got != want {
+			t.Errorf("Percentile(%v) = %v, want %v", p, got, want)
+		}
+	}
+	if got := Percentile(xs, 62.5); got != 3.5 {
+		t.Errorf("interpolated percentile = %v, want 3.5", got)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("empty input should give NaN")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestDistCDF(t *testing.T) {
+	d := NewDist([]float64{1, 2, 2, 3})
+	cases := map[float64]float64{0.5: 0, 1: 0.25, 2: 0.75, 2.5: 0.75, 3: 1, 10: 1}
+	for x, want := range cases {
+		if got := d.CDFAt(x); got != want {
+			t.Errorf("CDFAt(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	d := NewDist([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if got := d.Mean(); got != 5 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	if got := d.StdDev(); got != 2 {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	d := NewDist([]float64{1, 2, 3, 4, 5})
+	s := d.Summarize()
+	if s.Min != 1 || s.P50 != 3 || s.Max != 5 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	d := NewDist([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	pts := d.CDFPoints(5)
+	if len(pts) != 5 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	if pts[0][0] != 1 || pts[4][0] != 10 || pts[4][1] != 1.0 {
+		t.Fatalf("endpoints wrong: %v", pts)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i][0] < pts[i-1][0] || pts[i][1] < pts[i-1][1] {
+			t.Fatal("CDF points not monotone")
+		}
+	}
+}
+
+// Properties: percentiles are monotone in p, bounded by min/max, and the
+// CDF at the p-th percentile is >= p/100.
+func TestPercentileProperties(t *testing.T) {
+	f := func(raw []uint16, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		d := NewDist(xs)
+		p1 := float64(a) / 255 * 100
+		p2 := float64(b) / 255 * 100
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		v1, v2 := d.Percentile(p1), d.Percentile(p2)
+		if v1 > v2 {
+			return false
+		}
+		mn, mx := d.Min(), d.Max()
+		if v1 < mn || v2 > mx {
+			return false
+		}
+		// With linear interpolation the CDF at the p-th percentile can
+		// undershoot p by up to one sample's worth of mass.
+		return d.CDFAt(d.Percentile(p2)) >= p2/100-1.0/float64(d.N())-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistSortedInternally(t *testing.T) {
+	d := NewDist([]float64{5, 1, 4, 2, 3})
+	if !sort.Float64sAreSorted(d.s) {
+		t.Fatal("Dist not sorted")
+	}
+}

@@ -1,0 +1,296 @@
+package transport
+
+import (
+	"math"
+
+	"linkguardian/internal/simnet"
+	"linkguardian/internal/simtime"
+)
+
+// Variant selects the TCP congestion-control algorithm.
+type Variant int
+
+// The three TCP variants evaluated in §4.2: DCTCP (ECN-driven), CUBIC
+// (loss-driven) and BBR (rate/delay-driven, mostly loss-agnostic).
+const (
+	DCTCP Variant = iota
+	Cubic
+	BBR
+)
+
+func (v Variant) String() string {
+	switch v {
+	case Cubic:
+		return "CUBIC"
+	case BBR:
+		return "BBR"
+	default:
+		return "DCTCP"
+	}
+}
+
+// congControl is the congestion-control behavior a tcpSender delegates to.
+type congControl interface {
+	// OnAck processes newly delivered bytes with the ECN echo state and an
+	// RTT sample (0 if none).
+	OnAck(ackedBytes int, ece bool, rtt simtime.Duration)
+	// OnRecovery is called once per loss-recovery episode.
+	OnRecovery()
+	// OnRTO is called on a retransmission timeout.
+	OnRTO()
+	// Cwnd returns the congestion window in bytes.
+	Cwnd() int
+	// PacingRate returns the pacing rate in bits/s; 0 means window-limited
+	// (no pacing).
+	PacingRate() simtime.Rate
+}
+
+// ---------------------------------------------------------------- DCTCP --
+
+// dctcp implements DataCenter TCP: slow start and AIMD like Reno, plus the
+// fraction-of-marked-bytes estimator alpha that scales ECN-triggered window
+// reductions (cwnd *= 1 - alpha/2 once per window with marks).
+type dctcp struct {
+	mss      int
+	cwnd     int
+	ssthresh int
+
+	alpha     float64
+	g         float64
+	winBytes  int // bytes acked in the current observation window
+	winTarget int // window length: cwnd snapshot at window start
+	marked    int // bytes marked in the current observation window
+}
+
+func newDCTCP(mss, initCwnd int) *dctcp {
+	// alpha starts at 1 (as in the Linux implementation) so the first
+	// marked window halves the window.
+	return &dctcp{mss: mss, cwnd: initCwnd, ssthresh: math.MaxInt32, g: 1.0 / 16,
+		alpha: 1, winTarget: initCwnd}
+}
+
+func (d *dctcp) OnAck(acked int, ece bool, rtt simtime.Duration) {
+	d.winBytes += acked
+	if ece {
+		d.marked += acked
+		if d.cwnd < d.ssthresh {
+			// First congestion signal ends slow start immediately
+			// (tcp_enter_cwr), bounding the startup overshoot.
+			d.cwnd = int(float64(d.cwnd) * (1 - d.alpha/2))
+			if d.cwnd < 2*d.mss {
+				d.cwnd = 2 * d.mss
+			}
+			d.ssthresh = d.cwnd
+			d.winBytes, d.marked = 0, 0
+			d.winTarget = d.cwnd
+			return
+		}
+	}
+	if d.cwnd < d.ssthresh {
+		d.cwnd += acked // slow start
+	} else {
+		d.cwnd += d.mss * acked / d.cwnd // ~1 MSS per RTT
+	}
+	if d.winBytes >= d.winTarget {
+		// One observation window elapsed: update alpha and react.
+		frac := float64(d.marked) / float64(d.winBytes)
+		d.alpha = (1-d.g)*d.alpha + d.g*frac
+		if d.marked > 0 {
+			d.cwnd = int(float64(d.cwnd) * (1 - d.alpha/2))
+			if d.cwnd < 2*d.mss {
+				d.cwnd = 2 * d.mss
+			}
+			d.ssthresh = d.cwnd
+		}
+		d.winBytes, d.marked = 0, 0
+		d.winTarget = d.cwnd
+	}
+}
+
+func (d *dctcp) OnRecovery() {
+	d.ssthresh = d.cwnd / 2
+	if d.ssthresh < 2*d.mss {
+		d.ssthresh = 2 * d.mss
+	}
+	d.cwnd = d.ssthresh
+}
+
+func (d *dctcp) OnRTO() {
+	d.ssthresh = d.cwnd / 2
+	if d.ssthresh < 2*d.mss {
+		d.ssthresh = 2 * d.mss
+	}
+	d.cwnd = d.mss
+}
+
+func (d *dctcp) Cwnd() int                { return d.cwnd }
+func (d *dctcp) PacingRate() simtime.Rate { return 0 }
+func (d *dctcp) Alpha() float64           { return d.alpha }
+
+// ---------------------------------------------------------------- CUBIC --
+
+// cubic implements TCP CUBIC window growth: after a loss the window
+// shrinks to beta*Wmax and then grows along C*(t-K)^3 + Wmax.
+type cubic struct {
+	sim  *simnet.Sim
+	mss  int
+	cwnd int
+
+	ssthresh  int
+	wmax      float64 // MSS units
+	epochAt   simtime.Time
+	haveEpoch bool
+	lastRTT   simtime.Duration // for the TCP-friendly region
+}
+
+const (
+	cubicC    = 0.4
+	cubicBeta = 0.7
+)
+
+func newCubic(sim *simnet.Sim, mss, initCwnd int) *cubic {
+	return &cubic{sim: sim, mss: mss, cwnd: initCwnd, ssthresh: math.MaxInt32}
+}
+
+func (c *cubic) OnAck(acked int, ece bool, rtt simtime.Duration) {
+	if rtt > 0 {
+		c.lastRTT = rtt
+	}
+	if c.cwnd < c.ssthresh {
+		c.cwnd += acked
+		return
+	}
+	if !c.haveEpoch {
+		c.haveEpoch = true
+		c.epochAt = c.sim.Now()
+		if c.wmax == 0 {
+			c.wmax = float64(c.cwnd) / float64(c.mss)
+		}
+	}
+	t := c.sim.Now().Sub(c.epochAt).Seconds()
+	k := math.Cbrt(c.wmax * (1 - cubicBeta) / cubicC)
+	target := cubicC*math.Pow(t-k, 3) + c.wmax // MSS units
+	// TCP-friendly region (RFC 8312 §4.2): at datacenter RTTs the cubic
+	// curve (whose K is in wall-clock seconds) is glacial, and the
+	// Reno-equivalent estimate dominates growth.
+	if c.lastRTT > 0 {
+		west := c.wmax*cubicBeta + 3*(1-cubicBeta)/(1+cubicBeta)*(t/c.lastRTT.Seconds())
+		if west > target {
+			target = west
+		}
+	}
+	tb := int(target * float64(c.mss))
+	if tb > c.cwnd {
+		// Approach the target within the next RTT.
+		c.cwnd += (tb - c.cwnd) * acked / c.cwnd
+	}
+}
+
+func (c *cubic) OnRecovery() {
+	c.wmax = float64(c.cwnd) / float64(c.mss)
+	c.cwnd = int(cubicBeta * float64(c.cwnd))
+	if c.cwnd < 2*c.mss {
+		c.cwnd = 2 * c.mss
+	}
+	c.ssthresh = c.cwnd
+	c.haveEpoch = false
+}
+
+func (c *cubic) OnRTO() {
+	c.wmax = float64(c.cwnd) / float64(c.mss)
+	c.ssthresh = c.cwnd / 2
+	if c.ssthresh < 2*c.mss {
+		c.ssthresh = 2 * c.mss
+	}
+	c.cwnd = c.mss
+	c.haveEpoch = false
+}
+
+func (c *cubic) Cwnd() int                { return c.cwnd }
+func (c *cubic) PacingRate() simtime.Rate { return 0 }
+
+// ------------------------------------------------------------------ BBR --
+
+// bbr is a deliberately simplified BBR: it paces at a windowed-max
+// delivery-rate estimate (with a startup gain until the rate plateaus) and
+// ignores packet loss entirely — the property that matters for the paper's
+// experiments (§4.2, Appendix B.3: "BBR is mostly agnostic to packet
+// loss").
+type bbr struct {
+	sim *simnet.Sim
+	mss int
+
+	minRTT    simtime.Duration
+	btlBw     float64 // bytes/sec, windowed max
+	startup   bool
+	plateaued int // rounds without 25% growth
+	lastBw    float64
+	roundEnd  simtime.Time
+	delivered int
+	roundAt   simtime.Time
+}
+
+func newBBR(sim *simnet.Sim, mss int, initialRTT simtime.Duration) *bbr {
+	if initialRTT <= 0 {
+		initialRTT = 100 * simtime.Microsecond
+	}
+	return &bbr{
+		sim:     sim,
+		mss:     mss,
+		minRTT:  initialRTT,
+		btlBw:   float64(10*mss) / initialRTT.Seconds(),
+		startup: true,
+		roundAt: sim.Now(),
+	}
+}
+
+func (b *bbr) OnAck(acked int, ece bool, rtt simtime.Duration) {
+	if rtt > 0 && (b.minRTT == 0 || rtt < b.minRTT) {
+		b.minRTT = rtt
+	}
+	b.delivered += acked
+	elapsed := b.sim.Now().Sub(b.roundAt)
+	if elapsed >= b.minRTT && elapsed > 0 {
+		rate := float64(b.delivered) / elapsed.Seconds()
+		if rate > b.btlBw {
+			b.btlBw = rate
+		}
+		if b.startup {
+			if rate < b.lastBw*1.25 {
+				b.plateaued++
+				if b.plateaued >= 3 {
+					b.startup = false
+				}
+			} else {
+				b.plateaued = 0
+			}
+			b.lastBw = rate
+		}
+		b.delivered = 0
+		b.roundAt = b.sim.Now()
+	}
+}
+
+// OnRecovery: BBR does not reduce its rate on loss.
+func (b *bbr) OnRecovery() {}
+
+// OnRTO: BBR does not reduce its rate on timeout either; reliability is the
+// sender machinery's problem.
+func (b *bbr) OnRTO() {}
+
+func (b *bbr) Cwnd() int {
+	bdp := b.btlBw * b.minRTT.Seconds()
+	c := int(2 * bdp)
+	if c < 4*b.mss {
+		c = 4 * b.mss
+	}
+	return c
+}
+
+func (b *bbr) PacingRate() simtime.Rate {
+	gain := 1.0
+	if b.startup {
+		gain = 2.885
+	}
+	return simtime.Rate(gain * b.btlBw * 8)
+}

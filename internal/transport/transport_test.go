@@ -1,0 +1,327 @@
+package transport
+
+import (
+	"testing"
+
+	"linkguardian/internal/simnet"
+	"linkguardian/internal/simtime"
+)
+
+// rig is a two-host, two-switch path with a configurable middle link.
+type rig struct {
+	sim      *simnet.Sim
+	a, b     *Endpoint
+	mid      *simnet.Link
+	sw1, sw2 *simnet.Switch
+}
+
+func newRig(seed int64, rate simtime.Rate) *rig {
+	s := simnet.NewSim(seed)
+	h1 := simnet.NewHost(s, "h1")
+	h2 := simnet.NewHost(s, "h2")
+	sw1 := simnet.NewSwitch(s, "sw1")
+	sw2 := simnet.NewSwitch(s, "sw2")
+	l1 := simnet.Connect(s, h1, sw1, rate, 100*simtime.Nanosecond)
+	mid := simnet.Connect(s, sw1, sw2, rate, 200*simtime.Nanosecond)
+	l2 := simnet.Connect(s, sw2, h2, rate, 100*simtime.Nanosecond)
+	sw1.AddRoute("h2", mid.A())
+	sw1.AddRoute("h1", l1.B())
+	sw2.AddRoute("h2", l2.A())
+	sw2.AddRoute("h1", mid.B())
+	return &rig{sim: s, a: NewEndpoint(s, h1), b: NewEndpoint(s, h2), mid: mid, sw1: sw1, sw2: sw2}
+}
+
+// dropForwardSegs drops specific TCP segment indices (first transmission
+// only) on the middle link in the h1->h2 direction.
+func (r *rig) dropForwardSegs(segs ...int) {
+	seen := map[int]bool{}
+	want := map[int]bool{}
+	for _, s := range segs {
+		want[s] = true
+	}
+	r.mid.DropFn = func(p *simnet.Packet, f *simnet.Ifc) bool {
+		if f != r.mid.A() {
+			return false
+		}
+		var idx int
+		switch d := p.Payload.(type) {
+		case *tcpData:
+			idx = d.seg
+		case *rdmaData:
+			idx = d.psn
+		default:
+			return false
+		}
+		if want[idx] && !seen[idx] {
+			seen[idx] = true
+			return true
+		}
+		return false
+	}
+}
+
+func runFlow(t *testing.T, r *rig, start func(done func(FlowStats)), horizon simtime.Duration) FlowStats {
+	t.Helper()
+	var got *FlowStats
+	start(func(st FlowStats) { got = &st })
+	r.sim.RunFor(horizon)
+	if got == nil {
+		t.Fatal("flow did not complete")
+	}
+	return *got
+}
+
+func TestTCPLosslessFCT(t *testing.T) {
+	for _, v := range []Variant{DCTCP, Cubic, BBR} {
+		r := newRig(1, simtime.Rate100G)
+		st := runFlow(t, r, func(done func(FlowStats)) {
+			StartTCPFlow(r.sim, r.a, r.b, 1, 24387, DefaultTCPOpts(v), done)
+		}, 50*simtime.Millisecond)
+		if st.Retransmits != 0 || st.RTOs != 0 {
+			t.Fatalf("[%v] spurious recovery: %+v", v, st)
+		}
+		// 17 segments, initial window 10: two RTTs plus serialization.
+		// RTT here is ~25µs; anything under ~200µs is sane.
+		if st.FCT <= 0 || st.FCT > 400*simtime.Microsecond {
+			t.Fatalf("[%v] lossless FCT = %v", v, st.FCT)
+		}
+	}
+}
+
+func TestTCPSinglePacketFlow(t *testing.T) {
+	r := newRig(1, simtime.Rate100G)
+	st := runFlow(t, r, func(done func(FlowStats)) {
+		StartTCPFlow(r.sim, r.a, r.b, 1, 143, DefaultTCPOpts(DCTCP), done)
+	}, 50*simtime.Millisecond)
+	if st.FCT > 100*simtime.Microsecond {
+		t.Fatalf("single-packet FCT = %v", st.FCT)
+	}
+}
+
+func TestTCPSinglePacketLossTakesRTO(t *testing.T) {
+	r := newRig(1, simtime.Rate100G)
+	r.dropForwardSegs(0)
+	st := runFlow(t, r, func(done func(FlowStats)) {
+		StartTCPFlow(r.sim, r.a, r.b, 1, 143, DefaultTCPOpts(DCTCP), done)
+	}, 100*simtime.Millisecond)
+	// Single-packet tail loss cannot use TLP (delayed-ACK allowance makes
+	// PTO worse than RTO): recovery costs the 1ms RTOmin (§2, Figure 10).
+	if st.RTOs != 1 {
+		t.Fatalf("RTOs = %d, want 1 (stats %+v)", st.RTOs, st)
+	}
+	if st.FCT < simtime.Millisecond || st.FCT > 3*simtime.Millisecond {
+		t.Fatalf("FCT = %v, want ~1ms (RTOmin-bound)", st.FCT)
+	}
+}
+
+func TestTCPMiddleLossFastRecovery(t *testing.T) {
+	r := newRig(1, simtime.Rate100G)
+	r.dropForwardSegs(5)
+	st := runFlow(t, r, func(done func(FlowStats)) {
+		StartTCPFlow(r.sim, r.a, r.b, 1, 24387, DefaultTCPOpts(DCTCP), done)
+	}, 100*simtime.Millisecond)
+	if st.RTOs != 0 {
+		t.Fatalf("middle loss should avoid RTO: %+v", st)
+	}
+	if !st.EverSACKed || st.Retransmits != 1 {
+		t.Fatalf("expected SACK-driven single retransmit: %+v", st)
+	}
+	if st.FCT > simtime.Millisecond {
+		t.Fatalf("fast recovery FCT = %v, want well under RTOmin", st.FCT)
+	}
+	if !st.CwndReduced {
+		t.Fatal("loss recovery must reduce cwnd")
+	}
+}
+
+func TestTCPTailLossOfLastSegment(t *testing.T) {
+	r := newRig(1, simtime.Rate100G)
+	r.dropForwardSegs(16)
+	st := runFlow(t, r, func(done func(FlowStats)) {
+		StartTCPFlow(r.sim, r.a, r.b, 1, 24387, DefaultTCPOpts(DCTCP), done)
+	}, 100*simtime.Millisecond)
+	// Last packet lost: no SACKs can expose it; RTO (or single-flight TLP
+	// falling back to RTO) is the only way out — the multi-millisecond
+	// tail of Figure 11.
+	if st.FCT < simtime.Millisecond {
+		t.Fatalf("tail-loss FCT = %v, want >= RTOmin", st.FCT)
+	}
+	if st.Retransmits == 0 {
+		t.Fatal("no retransmission recorded")
+	}
+}
+
+func TestTCPThirdLastLossRecoversViaRACK(t *testing.T) {
+	r := newRig(1, simtime.Rate100G)
+	r.dropForwardSegs(14) // 3rd-last of 17
+	st := runFlow(t, r, func(done func(FlowStats)) {
+		StartTCPFlow(r.sim, r.a, r.b, 1, 24387, DefaultTCPOpts(DCTCP), done)
+	}, 100*simtime.Millisecond)
+	// Only 2 segments beyond the hole: the classic 3-dupack rule would
+	// stall, but RACK's reorder timer marks the hole after ~srtt+reo_wnd.
+	if st.RTOs != 0 {
+		t.Fatalf("RACK should beat RTO for 3rd-last loss: %+v", st)
+	}
+	if st.FCT > 500*simtime.Microsecond {
+		t.Fatalf("RACK recovery FCT = %v, want sub-ms", st.FCT)
+	}
+}
+
+func TestDCTCPRespondsToECN(t *testing.T) {
+	// 100G hosts into a 10G bottleneck with a 100KB ECN threshold: DCTCP
+	// must keep the bottleneck queue bounded near the threshold.
+	s := simnet.NewSim(1)
+	h1 := simnet.NewHost(s, "h1")
+	h2 := simnet.NewHost(s, "h2")
+	sw1 := simnet.NewSwitch(s, "sw1")
+	sw2 := simnet.NewSwitch(s, "sw2")
+	l1 := simnet.Connect(s, h1, sw1, simtime.Rate100G, 100*simtime.Nanosecond)
+	mid := simnet.Connect(s, sw1, sw2, simtime.Rate10G, 200*simtime.Nanosecond)
+	l2 := simnet.Connect(s, sw2, h2, simtime.Rate100G, 100*simtime.Nanosecond)
+	sw1.AddRoute("h2", mid.A())
+	sw1.AddRoute("h1", l1.B())
+	sw2.AddRoute("h2", l2.A())
+	sw2.AddRoute("h1", mid.B())
+	q := mid.A().Port.Q(simnet.PrioNormal)
+	q.ECNThreshold = 100 << 10
+	a, b := NewEndpoint(s, h1), NewEndpoint(s, h2)
+	var st *FlowStats
+	StartTCPFlow(s, a, b, 1, 2<<20, DefaultTCPOpts(DCTCP), func(x FlowStats) { st = &x })
+	peak := 0
+	s.Every(100*simtime.Microsecond, func() bool {
+		if q.Bytes() > peak {
+			peak = q.Bytes()
+		}
+		return st == nil
+	})
+	s.RunFor(100 * simtime.Millisecond)
+	if st == nil {
+		t.Fatal("2MB DCTCP flow did not complete")
+	}
+	if st.RTOs != 0 {
+		t.Fatalf("DCTCP hit RTO through the bottleneck: %+v", st)
+	}
+	if peak > 400<<10 {
+		t.Fatalf("bottleneck queue peaked at %d bytes; ECN response ineffective", peak)
+	}
+	// 2MB at ~9.8G effective takes ~1.7ms lower bound.
+	if st.FCT < 1500*simtime.Microsecond {
+		t.Fatalf("FCT %v faster than the bottleneck permits", st.FCT)
+	}
+}
+
+func TestCubicRecoversFromRandomLoss(t *testing.T) {
+	r := newRig(3, simtime.Rate10G)
+	r.mid.SetLoss(r.mid.A(), simnet.IIDLoss{P: 1e-3})
+	st := runFlow(t, r, func(done func(FlowStats)) {
+		StartTCPFlow(r.sim, r.a, r.b, 1, 2<<20, DefaultTCPOpts(Cubic), done)
+	}, 5*simtime.Second)
+	if st.Retransmits == 0 {
+		t.Fatal("expected retransmissions at 1e-3 loss over 2MB")
+	}
+}
+
+func TestBBRLossAgnostic(t *testing.T) {
+	// Same random loss: BBR's completion time should be much closer to
+	// lossless than CUBIC's, since it does not reduce its rate on loss.
+	lossless := func(v Variant) simtime.Duration {
+		r := newRig(5, simtime.Rate10G)
+		st := runFlow(t, r, func(done func(FlowStats)) {
+			StartTCPFlow(r.sim, r.a, r.b, 1, 2<<20, DefaultTCPOpts(v), done)
+		}, 5*simtime.Second)
+		return st.FCT
+	}
+	lossy := func(v Variant, seed int64) simtime.Duration {
+		r := newRig(seed, simtime.Rate10G)
+		r.mid.SetLoss(r.mid.A(), simnet.IIDLoss{P: 2e-3})
+		st := runFlow(t, r, func(done func(FlowStats)) {
+			StartTCPFlow(r.sim, r.a, r.b, 1, 2<<20, DefaultTCPOpts(v), done)
+		}, 10*simtime.Second)
+		return st.FCT
+	}
+	bbrBase, bbrLoss := lossless(BBR), lossy(BBR, 7)
+	cubicBase, cubicLoss := lossless(Cubic), lossy(Cubic, 7)
+	bbrSlowdown := float64(bbrLoss) / float64(bbrBase)
+	cubicSlowdown := float64(cubicLoss) / float64(cubicBase)
+	if bbrSlowdown > cubicSlowdown {
+		t.Fatalf("BBR slowdown %.2fx worse than CUBIC %.2fx under loss", bbrSlowdown, cubicSlowdown)
+	}
+}
+
+func TestRDMALossless(t *testing.T) {
+	r := newRig(1, simtime.Rate100G)
+	st := runFlow(t, r, func(done func(FlowStats)) {
+		StartRDMAWrite(r.sim, r.a, r.b, 1, 24387, DefaultRDMAOpts(), done)
+	}, 10*simtime.Millisecond)
+	if st.Retransmits != 0 || st.RTOs != 0 {
+		t.Fatalf("spurious RDMA recovery: %+v", st)
+	}
+	if st.FCT > 100*simtime.Microsecond {
+		t.Fatalf("RDMA lossless FCT = %v", st.FCT)
+	}
+}
+
+func TestRDMAGoBackN(t *testing.T) {
+	r := newRig(1, simtime.Rate100G)
+	r.dropForwardSegs(5)
+	st := runFlow(t, r, func(done func(FlowStats)) {
+		StartRDMAWrite(r.sim, r.a, r.b, 1, 24387, DefaultRDMAOpts(), done)
+	}, 10*simtime.Millisecond)
+	// Go-back-N rewinds: everything after PSN 5 is retransmitted.
+	if st.Retransmits < 11 {
+		t.Fatalf("go-back-N retransmits = %d, want >= 11", st.Retransmits)
+	}
+	if st.RTOs != 0 {
+		t.Fatalf("NAK path should not need RTO: %+v", st)
+	}
+	if st.FCT > 200*simtime.Microsecond {
+		t.Fatalf("go-back-N FCT = %v", st.FCT)
+	}
+}
+
+func TestRDMATailLossNeedsRTO(t *testing.T) {
+	r := newRig(1, simtime.Rate100G)
+	r.dropForwardSegs(16)
+	st := runFlow(t, r, func(done func(FlowStats)) {
+		StartRDMAWrite(r.sim, r.a, r.b, 1, 24387, DefaultRDMAOpts(), done)
+	}, 20*simtime.Millisecond)
+	if st.RTOs == 0 {
+		t.Fatalf("tail loss must hit the NIC RTO: %+v", st)
+	}
+	if st.FCT < simtime.Millisecond {
+		t.Fatalf("FCT = %v, want >= 1ms RTO", st.FCT)
+	}
+}
+
+func TestRDMASelectiveRepeat(t *testing.T) {
+	opts := DefaultRDMAOpts()
+	opts.SelectiveRepeat = true
+	r := newRig(1, simtime.Rate100G)
+	r.dropForwardSegs(5)
+	st := runFlow(t, r, func(done func(FlowStats)) {
+		StartRDMAWrite(r.sim, r.a, r.b, 1, 24387, opts, done)
+	}, 10*simtime.Millisecond)
+	if st.Retransmits != 1 {
+		t.Fatalf("selective repeat retransmits = %d, want 1", st.Retransmits)
+	}
+	if st.RTOs != 0 {
+		t.Fatalf("unexpected RTO: %+v", st)
+	}
+}
+
+func TestTCPCompletesUnderHeavyRandomLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	// Failure-injection sweep: every flow must complete under 1% loss.
+	for seed := int64(0); seed < 10; seed++ {
+		r := newRig(seed, simtime.Rate25G)
+		r.mid.SetLoss(r.mid.A(), simnet.IIDLoss{P: 0.01})
+		st := runFlow(t, r, func(done func(FlowStats)) {
+			StartTCPFlow(r.sim, r.a, r.b, 1, 100<<10, DefaultTCPOpts(DCTCP), done)
+		}, 30*simtime.Second)
+		if st.Bytes != 100<<10 {
+			t.Fatalf("seed %d: wrong byte count %d", seed, st.Bytes)
+		}
+	}
+}

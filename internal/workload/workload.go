@@ -1,0 +1,131 @@
+// Package workload models the datacenter flow-size distributions of
+// Figure 2, used by the FCT experiments and the short-flow analyses
+// (§1, §4.3).
+//
+// The six workloads are encoded as piecewise log-linear CDFs calibrated to
+// the published curves (Meta key-value: SIGMETRICS'12; Google search RPC
+// and all-RPC: Google memo via the paper; Meta Hadoop: SIGCOMM'15; Alibaba
+// storage: HPCC; DCTCP web search: SIGCOMM'10). Exact traces are not
+// public; the anchor points the paper quotes are honored exactly — 143B is
+// the most frequent size in Google all-RPC, 24,387B the most frequent in
+// DCTCP web search, and 2MB the maximum in Alibaba storage.
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Workload is a named flow-size distribution.
+type Workload struct {
+	Name string
+	pts  []cdfPoint // strictly increasing in both size and F
+}
+
+type cdfPoint struct {
+	size float64 // bytes
+	f    float64 // CDF value
+}
+
+// The paper's anchor flow sizes.
+const (
+	GoogleRPCModalSize = 143     // most frequent size, Google all RPC (§4.3)
+	WebSearchModalSize = 24387   // most frequent size, DCTCP web search (§4.3)
+	AlibabaMaxSize     = 2 << 20 // maximum size, Alibaba storage (§4.3)
+)
+
+func mk(name string, pairs ...float64) Workload {
+	w := Workload{Name: name}
+	for i := 0; i+1 < len(pairs); i += 2 {
+		w.pts = append(w.pts, cdfPoint{size: pairs[i], f: pairs[i+1]})
+	}
+	return w
+}
+
+// The six workloads of Figure 2 (2008–2019).
+var (
+	MetaKeyValue = mk("Meta key-value",
+		1, 0, 10, 0.12, 35, 0.35, 100, 0.65, 330, 0.85, 1024, 0.95,
+		10e3, 0.99, 100e3, 0.998, 1e6, 1)
+	GoogleSearchRPC = mk("Google search RPC",
+		10, 0, 100, 0.15, 400, 0.45, 1024, 0.80, 10e3, 0.95,
+		100e3, 0.99, 1e6, 1)
+	GoogleAllRPC = mk("Google all RPC",
+		10, 0, 142, 0.05, 143, 0.45, 1024, 0.70, 10e3, 0.88,
+		100e3, 0.96, 1e6, 0.995, 10e6, 1)
+	MetaHadoop = mk("Meta Hadoop",
+		100, 0, 256, 0.28, 1024, 0.55, 10e3, 0.75, 100e3, 0.88,
+		1e6, 0.95, 10e6, 1)
+	AlibabaStorage = mk("Alibaba storage",
+		512, 0, 4096, 0.22, 16e3, 0.45, 65536, 0.70, 262144, 0.85,
+		1e6, 0.95, float64(AlibabaMaxSize), 1)
+	DCTCPWebSearch = mk("DCTCP web search",
+		6e3, 0, 24386, 0.12, float64(WebSearchModalSize), 0.40, 100e3, 0.63,
+		1e6, 0.90, 10e6, 0.97, 30e6, 1)
+)
+
+// All returns the Figure 2 workloads in the figure's legend order.
+func All() []Workload {
+	return []Workload{
+		MetaKeyValue, GoogleSearchRPC, GoogleAllRPC,
+		MetaHadoop, AlibabaStorage, DCTCPWebSearch,
+	}
+}
+
+// CDF returns the fraction of flows with size <= bytes.
+func (w Workload) CDF(bytes float64) float64 {
+	pts := w.pts
+	if bytes <= pts[0].size {
+		return pts[0].f
+	}
+	if bytes >= pts[len(pts)-1].size {
+		return 1
+	}
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].size >= bytes })
+	a, b := pts[i-1], pts[i]
+	// Log-linear interpolation in size.
+	frac := (math.Log(bytes) - math.Log(a.size)) / (math.Log(b.size) - math.Log(a.size))
+	return a.f + frac*(b.f-a.f)
+}
+
+// Sample draws one flow size (bytes) by inverse-CDF sampling.
+func (w Workload) Sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	pts := w.pts
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].f >= u })
+	if i == 0 {
+		return int(pts[0].size)
+	}
+	if i >= len(pts) {
+		return int(pts[len(pts)-1].size)
+	}
+	a, b := pts[i-1], pts[i]
+	if b.f == a.f {
+		return int(b.size)
+	}
+	frac := (u - a.f) / (b.f - a.f)
+	sz := math.Exp(math.Log(a.size) + frac*(math.Log(b.size)-math.Log(a.size)))
+	if sz < 1 {
+		sz = 1
+	}
+	return int(sz)
+}
+
+// FractionWithin returns the fraction of flows that fit in at most bytes —
+// e.g. the single-packet fraction the paper's §4.3 argument rests on.
+func (w Workload) FractionWithin(bytes int) float64 { return w.CDF(float64(bytes)) }
+
+// CDFSeries samples the workload's CDF at n log-spaced sizes between lo and
+// hi bytes — a Figure 2 plot series.
+func (w Workload) CDFSeries(lo, hi float64, n int) [][2]float64 {
+	if n < 2 {
+		n = 2
+	}
+	out := make([][2]float64, 0, n)
+	for i := 0; i < n; i++ {
+		x := math.Exp(math.Log(lo) + float64(i)/float64(n-1)*(math.Log(hi)-math.Log(lo)))
+		out = append(out, [2]float64{x, w.CDF(x)})
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCDFMonotone(t *testing.T) {
+	for _, w := range All() {
+		prev := -1.0
+		for x := 1.0; x < 1e8; x *= 1.5 {
+			f := w.CDF(x)
+			if f < prev-1e-12 || f < 0 || f > 1 {
+				t.Fatalf("%s: CDF not a CDF at %g (%g)", w.Name, x, f)
+			}
+			prev = f
+		}
+		if w.CDF(1e9) != 1 {
+			t.Fatalf("%s: CDF does not reach 1", w.Name)
+		}
+	}
+}
+
+func TestSampleMatchesCDF(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, w := range All() {
+		const n = 50000
+		var le1500 int
+		for i := 0; i < n; i++ {
+			if w.Sample(rng) <= 1500 {
+				le1500++
+			}
+		}
+		want := w.CDF(1500)
+		got := float64(le1500) / n
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("%s: P(size<=1500) sampled %.3f, CDF %.3f", w.Name, got, want)
+		}
+	}
+}
+
+func TestPaperAnchors(t *testing.T) {
+	// 143B is the modal size of Google all RPC: a large CDF jump at 143.
+	jump := GoogleAllRPC.CDF(143) - GoogleAllRPC.CDF(142)
+	if jump < 0.3 {
+		t.Fatalf("Google all RPC jump at 143B = %.3f, want the modal mass", jump)
+	}
+	// 24387B is the modal size of DCTCP web search.
+	jump = DCTCPWebSearch.CDF(24387) - DCTCPWebSearch.CDF(24386)
+	if jump < 0.2 {
+		t.Fatalf("web search jump at 24387B = %.3f", jump)
+	}
+	// Alibaba storage tops out at 2MB.
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 10000; i++ {
+		if s := AlibabaStorage.Sample(rng); s > AlibabaMaxSize {
+			t.Fatalf("Alibaba sample %d exceeds 2MB", s)
+		}
+	}
+}
+
+// The §1/§4.3 argument: most flows in most workloads fit within a single
+// packet or a handful of packets.
+func TestShortFlowDominance(t *testing.T) {
+	if f := MetaKeyValue.FractionWithin(1448); f < 0.9 {
+		t.Fatalf("Meta key-value single-packet fraction %.2f, want > 0.9", f)
+	}
+	if f := GoogleAllRPC.FractionWithin(1448); f < 0.6 {
+		t.Fatalf("Google all RPC single-packet fraction %.2f, want > 0.6", f)
+	}
+	// Storage/web-search style workloads are the multi-packet tail.
+	if f := DCTCPWebSearch.FractionWithin(1448); f > 0.2 {
+		t.Fatalf("web search single-packet fraction %.2f, want small", f)
+	}
+}
+
+func TestCDFSeries(t *testing.T) {
+	pts := MetaHadoop.CDFSeries(100, 10e6, 32)
+	if len(pts) != 32 {
+		t.Fatalf("series length %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i][0] <= pts[i-1][0] || pts[i][1] < pts[i-1][1] {
+			t.Fatal("series not monotone")
+		}
+	}
+}
