@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all tier1 build vet test race bench clean
+
+all: tier1
+
+# Tier-1 verification: the gate every change must keep green.
+tier1:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test ./...
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race job for the concurrent packages: the parallel engine itself and the
+# experiment layer that fans out across it. The experiments run is filtered
+# to the determinism tests (the ones that exercise multi-worker execution)
+# because the full suite under -race takes many minutes.
+race:
+	$(GO) test -race ./internal/parallel
+	$(GO) test -race -run 'TestParallel.*MatchesSerial' ./internal/experiments
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+	$(GO) test -bench . -run '^$$' ./internal/eventq
+
+clean:
+	$(GO) clean ./...

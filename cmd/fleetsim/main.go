@@ -6,7 +6,7 @@
 // Usage:
 //
 //	fleetsim [-pods 256] [-days 365] [-constraint 0.75] [-sample 6h]
-//	         [-seed 1] [-series]
+//	         [-seed 1] [-series] [-workers 0]
 package main
 
 import (
@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"linkguardian/internal/experiments"
+	"linkguardian/internal/parallel"
 )
 
 func main() {
@@ -24,7 +25,9 @@ func main() {
 	sample := flag.Duration("sample", 6*time.Hour, "metric sampling interval")
 	seed := flag.Int64("seed", 1, "trace seed")
 	series := flag.Bool("series", false, "print the full Figure 15 time series")
+	workers := flag.Int("workers", 0, "parallel worker count (0 = all cores); results are identical at any setting")
 	flag.Parse()
+	parallel.SetWorkers(*workers)
 
 	opts := experiments.FleetOpts{
 		Pods:        *pods,

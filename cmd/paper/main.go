@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	paper [-only fig8,table3,...] [-scale 0.1] [-seed 1]
+//	paper [-only fig8,table3,...] [-scale 0.1] [-workers 0]
 //
 // Experiment ids: fig1 fig2 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15
 // fig16 fig19 fig20 fig21 table1 table2 table3 table4, plus the extension
@@ -23,6 +23,7 @@ import (
 
 	"linkguardian/internal/core"
 	"linkguardian/internal/experiments"
+	"linkguardian/internal/parallel"
 	"linkguardian/internal/simtime"
 	"linkguardian/internal/workload"
 )
@@ -30,7 +31,9 @@ import (
 func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	scale := flag.Float64("scale", 1.0, "scale factor for trial counts and durations")
+	workers := flag.Int("workers", 0, "parallel worker count (0 = all cores); results are identical at any setting")
 	flag.Parse()
+	parallel.SetWorkers(*workers)
 
 	want := map[string]bool{}
 	if *only != "" {

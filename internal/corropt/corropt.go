@@ -235,7 +235,13 @@ func (s *simState) activeCorruptingByPenalty() []int {
 		}
 		return l.LossRate
 	}
-	sort.Slice(ids, func(i, j int) bool { return penalty(ids[i]) > penalty(ids[j]) })
+	sort.Slice(ids, func(i, j int) bool {
+		pi, pj := penalty(ids[i]), penalty(ids[j])
+		if pi != pj {
+			return pi > pj
+		}
+		return ids[i] < ids[j] // deterministic order on penalty ties
+	})
 	return ids
 }
 

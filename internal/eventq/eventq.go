@@ -5,41 +5,67 @@
 // number breaking ties, so two events scheduled for the same instant always
 // fire in the order they were scheduled. This makes entire simulation runs
 // reproducible from a seed.
+//
+// The scheduler is built for the simulator's hot loop: an inlined 4-ary heap
+// (no container/heap interface boxing), event structs recycled through a
+// per-queue free list (steady-state Schedule/Step perform zero allocations),
+// and lazy cancellation (Cancel marks the event dead in place; the heap slot
+// is reclaimed when it surfaces, avoiding O(log n) mid-heap removal).
+// Callers hold Timer handles rather than raw event pointers: a generation
+// counter makes handles to fired, canceled, or recycled events permanently
+// inert, so the free list can reuse memory without use-after-fire hazards.
 package eventq
 
-import "container/heap"
-
-// Event is a scheduled callback. The zero value is not useful; events are
-// created via Queue.Schedule.
-type Event struct {
-	at    int64 // firing time, ns
-	seq   uint64
-	fn    func()
-	index int // position in the heap, -1 once fired or canceled
+// event is one heap entry. Instances are owned by the queue and recycled
+// through its free list; external code only ever sees Timer handles.
+type event struct {
+	at   int64 // firing time, ns
+	seq  uint64
+	fn   func()
+	gen  uint64 // bumped on fire/cancel, invalidating outstanding Timers
+	next *event // free-list link
 }
 
-// Canceled reports whether the event was canceled or has already fired.
-func (e *Event) Canceled() bool { return e == nil || e.index < 0 }
+// Timer is a handle to a scheduled event, returned by Schedule and After.
+// The zero Timer is valid and behaves as already-fired. Timers are values:
+// copy them freely, compare to detect the same scheduling, and discard
+// without cleanup.
+type Timer struct {
+	e   *event
+	gen uint64
+}
 
-// At returns the event's firing time in nanoseconds.
-func (e *Event) At() int64 { return e.at }
+// Canceled reports whether the timer's event was canceled or has already
+// fired (including the window inside its own callback).
+func (t Timer) Canceled() bool { return t.e == nil || t.e.gen != t.gen }
+
+// At returns the event's firing time in nanoseconds, or 0 for a timer that
+// is no longer pending.
+func (t Timer) At() int64 {
+	if t.Canceled() {
+		return 0
+	}
+	return t.e.at
+}
 
 // Queue is a time-ordered event queue. The zero value is ready to use.
 // Queue is not safe for concurrent use; a simulation run is single-threaded
-// by design.
+// by design (independent queues may run on concurrent goroutines).
 type Queue struct {
-	h      eventHeap
+	h      []*event
+	free   *event
 	now    int64
 	nexts  uint64
 	nfired uint64
+	live   int // scheduled and neither canceled nor fired
 }
 
 // Now returns the current simulated time in nanoseconds: the firing time of
 // the most recently dispatched event.
 func (q *Queue) Now() int64 { return q.now }
 
-// Len returns the number of pending events.
-func (q *Queue) Len() int { return len(q.h) }
+// Len returns the number of pending (live) events.
+func (q *Queue) Len() int { return q.live }
 
 // Fired returns the total number of events dispatched so far.
 func (q *Queue) Fired() uint64 { return q.nfired }
@@ -47,18 +73,29 @@ func (q *Queue) Fired() uint64 { return q.nfired }
 // Schedule enqueues fn to run at absolute time at (ns). Scheduling in the
 // past (before Now) panics: it always indicates a logic error in the caller,
 // and silently reordering time would corrupt the simulation.
-func (q *Queue) Schedule(at int64, fn func()) *Event {
+func (q *Queue) Schedule(at int64, fn func()) Timer {
 	if at < q.now {
 		panic("eventq: scheduling into the past")
 	}
-	e := &Event{at: at, seq: q.nexts, fn: fn}
+	e := q.free
+	if e != nil {
+		q.free = e.next
+		e.next = nil
+	} else {
+		e = &event{}
+	}
+	e.at = at
+	e.seq = q.nexts
+	e.fn = fn
 	q.nexts++
-	heap.Push(&q.h, e)
-	return e
+	q.live++
+	q.h = append(q.h, e)
+	q.siftUp(len(q.h) - 1)
+	return Timer{e: e, gen: e.gen}
 }
 
 // After enqueues fn to run d nanoseconds after Now.
-func (q *Queue) After(d int64, fn func()) *Event {
+func (q *Queue) After(d int64, fn func()) Timer {
 	if d < 0 {
 		panic("eventq: negative delay")
 	}
@@ -66,37 +103,53 @@ func (q *Queue) After(d int64, fn func()) *Event {
 }
 
 // Cancel removes a pending event. Canceling a fired or already-canceled
-// event is a no-op, so callers can cancel unconditionally.
-func (q *Queue) Cancel(e *Event) {
-	if e == nil || e.index < 0 {
+// event is a no-op, so callers can cancel unconditionally. Cancellation is
+// lazy: the entry stays in the heap until it surfaces, then is recycled
+// without firing.
+func (q *Queue) Cancel(t Timer) {
+	e := t.e
+	if e == nil || e.gen != t.gen {
 		return
 	}
-	heap.Remove(&q.h, e.index)
-	e.index = -1
+	e.gen++
 	e.fn = nil
+	q.live--
 }
 
 // Step fires the earliest pending event and returns true, or returns false
-// if the queue is empty.
+// if no live events remain.
 func (q *Queue) Step() bool {
-	if len(q.h) == 0 {
-		return false
+	for len(q.h) > 0 {
+		e := q.h[0]
+		q.popRoot()
+		if e.fn == nil { // lazily canceled; reclaim silently
+			q.recycle(e)
+			continue
+		}
+		q.now = e.at
+		fn := e.fn
+		e.fn = nil
+		e.gen++
+		q.live--
+		q.nfired++
+		// Recycle before dispatch: fn may Schedule and immediately reuse
+		// this slot, which is safe now that the generation has advanced.
+		q.recycle(e)
+		fn()
+		return true
 	}
-	e := heap.Pop(&q.h).(*Event)
-	e.index = -1
-	q.now = e.at
-	fn := e.fn
-	e.fn = nil
-	q.nfired++
-	fn()
-	return true
+	return false
 }
 
 // RunUntil fires events until the queue is empty or the next event is after
 // deadline. Time advances to deadline if the queue drains earlier events
 // first; Now never exceeds deadline on return unless it already did.
 func (q *Queue) RunUntil(deadline int64) {
-	for len(q.h) > 0 && q.h[0].at <= deadline {
+	for {
+		q.purgeCanceled()
+		if len(q.h) == 0 || q.h[0].at > deadline {
+			break
+		}
 		q.Step()
 	}
 	if q.now < deadline {
@@ -117,34 +170,84 @@ func (q *Queue) Drain(maxEvents int64) {
 	}
 }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// purgeCanceled pops lazily-canceled entries off the heap root so that
+// q.h[0], if present, is a live event.
+func (q *Queue) purgeCanceled() {
+	for len(q.h) > 0 && q.h[0].fn == nil {
+		e := q.h[0]
+		q.popRoot()
+		q.recycle(e)
 	}
-	return h[i].seq < h[j].seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+func (q *Queue) recycle(e *event) {
+	e.next = q.free
+	q.free = e
 }
 
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
+// ------------------------------------------------- inlined 4-ary heap ----
+//
+// A 4-ary layout halves the tree depth of a binary heap, trading slightly
+// wider sift-down scans for fewer cache-missing levels — a win at the
+// queue sizes the simulator sustains. Comparisons are direct field reads;
+// there is no interface dispatch anywhere on the push/pop path.
+
+// less orders events by (at, seq): time first, scheduling order on ties.
+func less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
 }
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+func (q *Queue) siftUp(i int) {
+	h := q.h
+	e := h[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !less(e, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = e
+}
+
+// popRoot removes h[0], restoring heap order.
+func (q *Queue) popRoot() {
+	h := q.h
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	q.h = h[:n]
+	if n == 0 {
+		return
+	}
+	h = q.h
+	// Sift the former last element down from the root.
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		// Smallest of up to four children.
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		m := c
+		for k := c + 1; k < end; k++ {
+			if less(h[k], h[m]) {
+				m = k
+			}
+		}
+		if !less(h[m], last) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = last
 }

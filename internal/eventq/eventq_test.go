@@ -51,8 +51,8 @@ func TestCancel(t *testing.T) {
 	fired := false
 	e := q.Schedule(10, func() { fired = true })
 	q.Cancel(e)
-	q.Cancel(e) // double-cancel is a no-op
-	q.Cancel(nil)
+	q.Cancel(e)       // double-cancel is a no-op
+	q.Cancel(Timer{}) // zero timer is inert
 	q.Drain(0)
 	if fired {
 		t.Fatal("canceled event fired")
@@ -65,7 +65,7 @@ func TestCancel(t *testing.T) {
 func TestCancelMiddleOfHeap(t *testing.T) {
 	var q Queue
 	var got []int64
-	var evs []*Event
+	var evs []Timer
 	for i := int64(0); i < 20; i++ {
 		i := i
 		evs = append(evs, q.Schedule(i, func() { got = append(got, i) }))
@@ -156,6 +156,158 @@ func TestDrainBudget(t *testing.T) {
 		}
 	}()
 	q.Drain(1000)
+}
+
+// A stale handle — held across its event's firing and the slot's reuse —
+// must never cancel the successor event occupying the recycled slot.
+func TestStaleHandleCannotCancelRecycledEvent(t *testing.T) {
+	var q Queue
+	stale := q.Schedule(1, func() {})
+	if !q.Step() {
+		t.Fatal("no event fired")
+	}
+	if !stale.Canceled() {
+		t.Fatal("handle still live after firing")
+	}
+	fired := false
+	fresh := q.Schedule(2, func() { fired = true }) // reuses the freed slot
+	q.Cancel(stale)                                 // must be a no-op
+	if fresh.Canceled() {
+		t.Fatal("stale Cancel killed the recycled event")
+	}
+	q.Drain(0)
+	if !fired {
+		t.Fatal("recycled event did not fire")
+	}
+}
+
+func TestCanceledInsideOwnCallback(t *testing.T) {
+	var q Queue
+	var tm Timer
+	var sawCanceled bool
+	tm = q.Schedule(5, func() { sawCanceled = tm.Canceled() })
+	q.Drain(0)
+	if !sawCanceled {
+		t.Fatal("timer not reported canceled inside its own callback")
+	}
+}
+
+func TestLenExcludesLazilyCanceled(t *testing.T) {
+	var q Queue
+	a := q.Schedule(1, func() {})
+	q.Schedule(2, func() {})
+	q.Cancel(a)
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d with one live and one canceled event, want 1", q.Len())
+	}
+	q.Drain(0)
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after drain", q.Len())
+	}
+}
+
+// RunUntil must not let a lazily-canceled early event pull a live later
+// event across the deadline.
+func TestRunUntilSkipsCanceledRoot(t *testing.T) {
+	var q Queue
+	early := q.Schedule(10, func() {})
+	fired := false
+	q.Schedule(50, func() { fired = true })
+	q.Cancel(early)
+	q.RunUntil(20)
+	if fired {
+		t.Fatal("RunUntil(20) fired an event scheduled at 50")
+	}
+	if q.Now() != 20 {
+		t.Fatalf("Now = %d, want 20", q.Now())
+	}
+	q.RunUntil(60)
+	if !fired {
+		t.Fatal("event at 50 never fired")
+	}
+}
+
+// Steady-state Schedule/Step cycles must not allocate: the free list
+// recycles event structs and the heap's backing array stops growing.
+func TestScheduleStepZeroAllocsSteadyState(t *testing.T) {
+	var q Queue
+	fn := func() {}
+	// Warm up: grow the heap slice and free list to working size.
+	for i := 0; i < 64; i++ {
+		q.Schedule(q.Now()+int64(i), fn)
+	}
+	q.Drain(0)
+	allocs := testing.AllocsPerRun(10000, func() {
+		q.Schedule(q.Now()+10, fn)
+		q.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("Schedule+Step allocates %.1f objects/op in steady state, want 0", allocs)
+	}
+}
+
+// Schedule/Cancel churn is likewise allocation-free: lazy cancellation
+// recycles entries as they surface.
+func TestScheduleCancelZeroAllocsSteadyState(t *testing.T) {
+	var q Queue
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		q.Schedule(q.Now()+int64(i), fn)
+	}
+	q.Drain(0)
+	allocs := testing.AllocsPerRun(10000, func() {
+		tm := q.Schedule(q.Now()+10, fn)
+		q.Cancel(tm)
+		q.Schedule(q.Now()+5, fn)
+		q.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("Schedule+Cancel churn allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// BenchmarkEventQ measures the scheduler hot loop at a sustained backlog
+// typical of a busy simulation (self-replenishing queues keep hundreds of
+// events pending). Run with -benchmem; the free list keeps it at 0
+// allocs/op.
+func BenchmarkEventQ(b *testing.B) {
+	var q Queue
+	fn := func() {}
+	const backlog = 512
+	for i := 0; i < backlog; i++ {
+		q.Schedule(int64(i), fn)
+	}
+	rng := rand.New(rand.NewSource(1))
+	jitter := make([]int64, 1024)
+	for i := range jitter {
+		jitter[i] = rng.Int63n(1000)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Schedule(q.Now()+jitter[i&1023], fn)
+		q.Step()
+	}
+}
+
+// BenchmarkEventQCancel adds the timer-churn pattern transports generate:
+// most scheduled timers are canceled and rescheduled before firing.
+func BenchmarkEventQCancel(b *testing.B) {
+	var q Queue
+	fn := func() {}
+	const backlog = 256
+	for i := 0; i < backlog; i++ {
+		q.Schedule(int64(i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var pending Timer
+	for i := 0; i < b.N; i++ {
+		q.Cancel(pending)
+		pending = q.Schedule(q.Now()+500, fn)
+		q.Schedule(q.Now()+100, fn)
+		q.Step()
+	}
 }
 
 // Property: for any multiset of (time, id) insertions, the firing order is a

@@ -2,8 +2,10 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
 
 	"linkguardian/internal/core"
+	"linkguardian/internal/parallel"
 	"linkguardian/internal/simtime"
 	"linkguardian/internal/stats"
 	"linkguardian/internal/transport"
@@ -42,25 +44,51 @@ func DesignSpace(trials int) []DesignSpaceRow {
 		}
 	}
 
-	var out []DesignSpaceRow
-	out = append(out, row("e2e ReTx (TCP)", RunFCT(TransDCTCP, LossOnly, opts), 0))
-	out = append(out, row("e2e duplication", runDupFCT(opts, 1), 1.0))
-	lg := RunFCT(TransDCTCP, LG, opts)
 	// LinkGuardian's overhead: N retransmitted copies per lost packet plus
 	// the ~0.2% 3-byte header tax, local to the link and proportional to
 	// the loss rate (§4.6).
 	lgOverhead := opts.LossRate*float64(core.CopiesFor(opts.LossRate, 1e-8)) + 0.002
-	out = append(out, row("LinkGuardian", lg, lgOverhead))
-	return out
+	runs := []struct {
+		name     string
+		overhead float64
+		run      func() FCTResult
+	}{
+		{"e2e ReTx (TCP)", 0, func() FCTResult { return RunFCT(TransDCTCP, LossOnly, opts) }},
+		{"e2e duplication", 1.0, func() FCTResult { return runDupFCT(opts, 1) }},
+		{"LinkGuardian", lgOverhead, func() FCTResult { return RunFCT(TransDCTCP, LG, opts) }},
+	}
+	return parallel.Map(len(runs), func(i int) DesignSpaceRow {
+		return row(runs[i].name, runs[i].run(), runs[i].overhead)
+	})
 }
 
-// runDupFCT measures FCTs for DCTCP with end-to-end duplication.
+// runDupFCT measures FCTs for DCTCP with end-to-end duplication, sharding
+// trials into blocks like runFCTWithConfig.
 func runDupFCT(opts FCTOpts, copies int) FCTResult {
+	nblocks := parallel.Blocks(opts.Trials, fctBlockSize)
+	blocks := parallel.Map(nblocks, func(b int) []float64 {
+		lo, hi := parallel.BlockBounds(opts.Trials, fctBlockSize, b)
+		o := opts
+		o.Trials = hi - lo
+		o.Seed = parallel.SeedFor(opts.Seed, b)
+		return runDupFCTBlock(o, copies)
+	})
+	var fcts []float64
+	for _, blk := range blocks {
+		fcts = append(fcts, blk...)
+	}
+	res := FCTResult{Transport: TransDCTCP, Protection: LossOnly, FlowSize: opts.FlowSize}
+	res.FCTs = stats.NewDist(fcts)
+	res.Trials = len(fcts)
+	return res
+}
+
+// runDupFCTBlock simulates one block of duplicated-flow trials.
+func runDupFCTBlock(opts FCTOpts, copies int) []float64 {
 	cfg := core.NewConfig(opts.Rate, opts.LossRate)
 	tb := NewTestbed(opts.Seed, opts.Rate, cfg)
 	tb.SetLoss(opts.LossRate)
 
-	res := FCTResult{Transport: TransDCTCP, Protection: LossOnly, FlowSize: opts.FlowSize}
 	fcts := make([]float64, 0, opts.Trials)
 	trial := 0
 	topts := transport.DefaultTCPOpts(transport.DCTCP)
@@ -77,13 +105,11 @@ func runDupFCT(opts FCTOpts, copies int) FCTResult {
 		transport.StartTCPFlow(tb.Sim, tb.EP1, tb.EP2, trial+1, opts.FlowSize, topts, done)
 	}
 	launch()
-	cap := tb.Sim.Now().Add(simtime.Duration(opts.Trials) * (50*simtime.Millisecond + opts.Gap))
-	for trial < opts.Trials && tb.Sim.Now().Before(cap) {
+	deadline := tb.Sim.Now().Add(simtime.Duration(opts.Trials) * (50*simtime.Millisecond + opts.Gap))
+	for trial < opts.Trials && tb.Sim.Now().Before(deadline) {
 		tb.Sim.RunFor(2 * simtime.Millisecond)
 	}
-	res.FCTs = stats.NewDist(fcts)
-	res.Trials = len(fcts)
-	return res
+	return fcts
 }
 
 // WorkloadFCTResult aggregates tail-FCT improvements over a realistic
@@ -98,8 +124,28 @@ type WorkloadFCTResult struct {
 // RunWorkloadFCT samples flow sizes from a Figure 2 workload and measures
 // the FCT distribution under one protection setting — the experiment the
 // paper's §1 motivation implies: what a realistic RPC mix experiences on a
-// corrupting link.
+// corrupting link. Trials shard into blocks like RunFCT; each block draws
+// its flow sizes from its own seed-derived stream.
 func RunWorkloadFCT(w workload.Workload, prot Protection, trials int, seed int64) WorkloadFCTResult {
+	nblocks := parallel.Blocks(trials, fctBlockSize)
+	blocks := parallel.Map(nblocks, func(b int) []float64 {
+		lo, hi := parallel.BlockBounds(trials, fctBlockSize, b)
+		return runWorkloadFCTBlock(w, prot, hi-lo, parallel.SeedFor(seed, b))
+	})
+	var fcts []float64
+	for _, blk := range blocks {
+		fcts = append(fcts, blk...)
+	}
+	return WorkloadFCTResult{Workload: w.Name, Trials: len(fcts), Protection: prot, FCTs: stats.NewDist(fcts)}
+}
+
+// runWorkloadFCTBlock simulates one block of workload-sampled trials. Flow
+// sizes come from a dedicated RNG stream derived from the block seed — not
+// from the simulator RNG that also drives loss decisions — so runs that
+// differ only in protection sample identical size sequences and compare
+// paired trials rather than different workloads.
+func runWorkloadFCTBlock(w workload.Workload, prot Protection, trials int, seed int64) []float64 {
+	sizeRng := rand.New(rand.NewSource(parallel.SeedFor(seed, 1)))
 	cfg := core.NewConfig(simtime.Rate100G, 1e-3)
 	tb := NewTestbed(seed, simtime.Rate100G, cfg)
 	if prot != NoLoss {
@@ -122,14 +168,14 @@ func RunWorkloadFCT(w workload.Workload, prot Protection, trials int, seed int64
 		}
 	}
 	launch = func() {
-		size := w.Sample(tb.Sim.Rng)
+		size := w.Sample(sizeRng)
 		transport.StartTCPFlow(tb.Sim, tb.EP1, tb.EP2, trial+1, size,
 			transport.DefaultTCPOpts(transport.DCTCP), done)
 	}
 	launch()
-	cap := tb.Sim.Now().Add(simtime.Duration(trials) * 60 * simtime.Millisecond)
-	for trial < trials && tb.Sim.Now().Before(cap) {
+	deadline := tb.Sim.Now().Add(simtime.Duration(trials) * 60 * simtime.Millisecond)
+	for trial < trials && tb.Sim.Now().Before(deadline) {
 		tb.Sim.RunFor(2 * simtime.Millisecond)
 	}
-	return WorkloadFCTResult{Workload: w.Name, Trials: len(fcts), Protection: prot, FCTs: stats.NewDist(fcts)}
+	return fcts
 }

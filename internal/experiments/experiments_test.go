@@ -155,9 +155,12 @@ func TestTable2MechanismOrdering(t *testing.T) {
 	if len(rows) != 6 {
 		t.Fatalf("Table 2 has %d rows", len(rows))
 	}
-	// Loss is far worse than no loss at the tail.
-	if byName["Loss"].P999 < 5*byName["NoLoss"].P999 {
-		t.Fatalf("loss p99.9 %v not >> no-loss %v", byName["Loss"].P999, byName["NoLoss"].P999)
+	// Loss is far worse than no loss at the tail. Assert at 99.99%, where
+	// the loss row is reliably RTO-scale: at 99.9% the row sits on a
+	// knife-edge (a handful of RTO events out of 6000 trials) and flips
+	// between ~70µs and ~1ms on seed luck.
+	if byName["Loss"].P9999 < 5*byName["NoLoss"].P9999 {
+		t.Fatalf("loss p99.99 %v not >> no-loss %v", byName["Loss"].P9999, byName["NoLoss"].P9999)
 	}
 	// Tail-loss handling is what fixes the high percentiles: ReTx+Tail
 	// beats plain ReTx at 99.99%.

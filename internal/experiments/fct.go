@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"linkguardian/internal/core"
+	"linkguardian/internal/parallel"
 	"linkguardian/internal/simnet"
 	"linkguardian/internal/simtime"
 	"linkguardian/internal/stats"
@@ -121,9 +122,54 @@ func RunFCT(tr Transport, prot Protection, opts FCTOpts) FCTResult {
 	return runFCTWithConfig(tr, prot, cfg, opts)
 }
 
+// fctBlockSize is the number of trials one shard simulates serially on its
+// own testbed. It is a function of nothing — in particular not of the
+// worker count — so the shard decomposition, per-shard seeds, and therefore
+// the merged results are identical at any parallelism.
+const fctBlockSize = 250
+
 // runFCTWithConfig allows Table 2's ablation variants to customize the
-// LinkGuardian configuration.
+// LinkGuardian configuration. Trials are sharded into fctBlockSize blocks
+// executed across the parallel engine, each block on an independent testbed
+// seeded by parallel.SeedFor(opts.Seed, block); block outputs are merged in
+// block-index order.
 func runFCTWithConfig(tr Transport, prot Protection, cfg core.Config, opts FCTOpts) FCTResult {
+	nblocks := parallel.Blocks(opts.Trials, fctBlockSize)
+	blocks := parallel.Map(nblocks, func(b int) fctBlock {
+		lo, hi := parallel.BlockBounds(opts.Trials, fctBlockSize, b)
+		o := opts
+		o.Trials = hi - lo
+		o.Seed = parallel.SeedFor(opts.Seed, b)
+		return runFCTBlock(tr, prot, cfg, o)
+	})
+
+	res := FCTResult{Transport: tr, Protection: prot, FlowSize: opts.FlowSize}
+	fcts := make([]float64, 0, opts.Trials)
+	res.Flows = make([]transport.FlowStats, 0, opts.Trials)
+	if prot != NoLoss {
+		res.DroppedSegs = make([][]int, 0, opts.Trials)
+	}
+	for _, blk := range blocks {
+		fcts = append(fcts, blk.fcts...)
+		res.Flows = append(res.Flows, blk.flows...)
+		if prot != NoLoss {
+			res.DroppedSegs = append(res.DroppedSegs, blk.dropped...)
+		}
+	}
+	res.FCTs = stats.NewDist(fcts)
+	res.Trials = len(fcts)
+	return res
+}
+
+// fctBlock is one shard's output: per-trial series in trial order.
+type fctBlock struct {
+	fcts    []float64
+	flows   []transport.FlowStats
+	dropped [][]int
+}
+
+// runFCTBlock simulates one block of trials serially on a fresh testbed.
+func runFCTBlock(tr Transport, prot Protection, cfg core.Config, opts FCTOpts) fctBlock {
 	tb := NewTestbed(opts.Seed, opts.Rate, cfg)
 	if prot != NoLoss {
 		tb.SetLoss(opts.LossRate)
@@ -134,30 +180,29 @@ func runFCTWithConfig(tr Transport, prot Protection, cfg core.Config, opts FCTOp
 
 	// Record corruption-dropped data segments per trial for the Figure 13
 	// analysis: wrap the loss decision so drops are observable.
-	res := FCTResult{Transport: tr, Protection: prot, FlowSize: opts.FlowSize, Trials: opts.Trials}
+	blk := fctBlock{fcts: make([]float64, 0, opts.Trials)}
 	trial := 0
 	if prot != NoLoss {
-		res.DroppedSegs = make([][]int, opts.Trials)
+		blk.dropped = make([][]int, opts.Trials)
 		inner := simnet.LossModel(simnet.IIDLoss{P: opts.LossRate})
 		tb.Link.DropFn = func(p *simnet.Packet, f *simnet.Ifc) bool {
 			if f != tb.Link.A() {
 				return false
 			}
 			drop := inner.Drops(tb.Sim.Rng)
-			if drop && trial < len(res.DroppedSegs) {
+			if drop && trial < len(blk.dropped) {
 				if d, ok := p.Payload.(transport.SegmentInfo); ok {
-					res.DroppedSegs[trial] = append(res.DroppedSegs[trial], d.Index())
+					blk.dropped[trial] = append(blk.dropped[trial], d.Index())
 				}
 			}
 			return drop
 		}
 	}
 
-	fcts := make([]float64, 0, opts.Trials)
 	var launch func()
 	done := func(st transport.FlowStats) {
-		fcts = append(fcts, st.FCT.Seconds()*1e6)
-		res.Flows = append(res.Flows, st)
+		blk.fcts = append(blk.fcts, st.FCT.Seconds()*1e6)
+		blk.flows = append(blk.flows, st)
 		trial++
 		if trial < opts.Trials {
 			tb.Sim.After(opts.Gap, launch)
@@ -188,52 +233,55 @@ func runFCTWithConfig(tr Transport, prot Protection, cfg core.Config, opts FCTOp
 	// LinkGuardian enabled the self-replenishing queues keep the event
 	// queue busy forever, so a fixed far-future horizon would simulate an
 	// idle link indefinitely.
-	cap := tb.Sim.Now().Add(simtime.Duration(opts.Trials)*(50*simtime.Millisecond+opts.Gap) + simtime.Second)
-	for trial < opts.Trials && tb.Sim.Now().Before(cap) {
+	deadline := tb.Sim.Now().Add(simtime.Duration(opts.Trials)*(50*simtime.Millisecond+opts.Gap) + simtime.Second)
+	for trial < opts.Trials && tb.Sim.Now().Before(deadline) {
 		tb.Sim.RunFor(2 * simtime.Millisecond)
 	}
-	res.FCTs = stats.NewDist(fcts)
-	res.Trials = len(fcts)
-	return res
+	return blk
+}
+
+// fctCell is one (transport, protection) cell of a figure grid.
+type fctCell struct {
+	tr   Transport
+	prot Protection
+}
+
+// fctGrid expands the (transport x protection) cross product in row-major
+// order and runs every cell through the parallel engine, merging results in
+// cell order. Each cell's RunFCT additionally shards its own trials, so
+// figure grids keep all workers busy even with few cells.
+func fctGrid(transports []Transport, prots []Protection, size, trials int) []FCTResult {
+	var cells []fctCell
+	for _, tr := range transports {
+		for _, prot := range prots {
+			cells = append(cells, fctCell{tr, prot})
+		}
+	}
+	return parallel.Map(len(cells), func(i int) FCTResult {
+		opts := DefaultFCTOpts(size)
+		opts.Trials = trials
+		return RunFCT(cells[i].tr, cells[i].prot, opts)
+	})
 }
 
 // Figure10 compares 143B single-packet flows (Google all-RPC modal size)
 // across the four protections for DCTCP and RDMA on a 100G link.
 func Figure10(trials int) []FCTResult {
-	var out []FCTResult
-	for _, tr := range []Transport{TransDCTCP, TransRDMA} {
-		for _, prot := range []Protection{NoLoss, LG, LGNB, LossOnly} {
-			opts := DefaultFCTOpts(143)
-			opts.Trials = trials
-			out = append(out, RunFCT(tr, prot, opts))
-		}
-	}
-	return out
+	return fctGrid([]Transport{TransDCTCP, TransRDMA},
+		[]Protection{NoLoss, LG, LGNB, LossOnly}, 143, trials)
 }
 
 // Figure11 repeats the comparison with 24,387B (17-packet) flows, the DCTCP
 // web-search modal size, for DCTCP, BBR and RDMA.
 func Figure11(trials int) []FCTResult {
-	var out []FCTResult
-	for _, tr := range []Transport{TransDCTCP, TransBBR, TransRDMA} {
-		for _, prot := range []Protection{NoLoss, LG, LGNB, LossOnly} {
-			opts := DefaultFCTOpts(24387)
-			opts.Trials = trials
-			out = append(out, RunFCT(tr, prot, opts))
-		}
-	}
-	return out
+	return fctGrid([]Transport{TransDCTCP, TransBBR, TransRDMA},
+		[]Protection{NoLoss, LG, LGNB, LossOnly}, 24387, trials)
 }
 
 // Figure12 runs 2MB DCTCP flows (Alibaba storage maximum).
 func Figure12(trials int) []FCTResult {
-	var out []FCTResult
-	for _, prot := range []Protection{NoLoss, LG, LGNB, LossOnly} {
-		opts := DefaultFCTOpts(2 << 20)
-		opts.Trials = trials
-		out = append(out, RunFCT(TransDCTCP, prot, opts))
-	}
-	return out
+	return fctGrid([]Transport{TransDCTCP},
+		[]Protection{NoLoss, LG, LGNB, LossOnly}, 2<<20, trials)
 }
 
 // Table2Row is one column of Table 2: FCT percentiles for one mechanism
@@ -258,25 +306,30 @@ func Table2(trials int) []Table2Row {
 			StdDev: res.FCTs.StdDev(),
 		}
 	}
-	var rows []Table2Row
-	rows = append(rows, mk("NoLoss", RunFCT(TransDCTCP, NoLoss, opts)))
-	rows = append(rows, mk("Loss", RunFCT(TransDCTCP, LossOnly, opts)))
-
-	variant := func(name string, mode core.Mode, tail bool) {
-		cfg := core.NewConfig(opts.Rate, opts.LossRate)
-		cfg.Mode = mode
-		cfg.TailLossDetection = tail
-		prot := LG
-		if mode == core.NonBlocking {
-			prot = LGNB
-		}
-		rows = append(rows, mk(name, runFCTWithConfig(TransDCTCP, prot, cfg, opts)))
+	type variant struct {
+		name string
+		prot Protection
+		mode core.Mode
+		tail bool
 	}
-	variant("ReTx", core.NonBlocking, false)
-	variant("ReTx+Order", core.Ordered, false)
-	variant("ReTx+Tail", core.NonBlocking, true)
-	variant("ReTx+Tail+Order", core.Ordered, true)
-	return rows
+	variants := []variant{
+		{"NoLoss", NoLoss, core.Ordered, true},
+		{"Loss", LossOnly, core.Ordered, true},
+		{"ReTx", LGNB, core.NonBlocking, false},
+		{"ReTx+Order", LG, core.Ordered, false},
+		{"ReTx+Tail", LGNB, core.NonBlocking, true},
+		{"ReTx+Tail+Order", LG, core.Ordered, true},
+	}
+	return parallel.Map(len(variants), func(i int) Table2Row {
+		v := variants[i]
+		if v.prot == NoLoss || v.prot == LossOnly {
+			return mk(v.name, RunFCT(TransDCTCP, v.prot, opts))
+		}
+		cfg := core.NewConfig(opts.Rate, opts.LossRate)
+		cfg.Mode = v.mode
+		cfg.TailLossDetection = v.tail
+		return mk(v.name, runFCTWithConfig(TransDCTCP, v.prot, cfg, opts))
+	})
 }
 
 func (r Table2Row) String() string {

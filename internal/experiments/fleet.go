@@ -8,6 +8,7 @@ import (
 	"linkguardian/internal/corropt"
 	"linkguardian/internal/fabric"
 	"linkguardian/internal/failtrace"
+	"linkguardian/internal/parallel"
 	"linkguardian/internal/stats"
 )
 
@@ -42,11 +43,14 @@ type FleetComparison struct {
 }
 
 // RunFleet simulates CorrOpt vs LinkGuardian+CorrOpt on identical traces
-// under one capacity constraint — Figures 15 and 16.
+// under one capacity constraint — Figures 15 and 16. The two policy runs
+// replay the same trace on independent fabric instances with independent
+// (identically seeded, for a paired comparison) repair-time RNGs, so they
+// execute concurrently on the parallel engine with no shared state.
 func RunFleet(constraint float64, opts FleetOpts) FleetComparison {
 	cfg := fabric.DefaultConfig()
 	cfg.Pods = opts.Pods
-	trace := failtrace.Generate(rand.New(rand.NewSource(opts.Seed)), fabric.New(cfg).NumLinks(), opts.Horizon)
+	trace := failtrace.Generate(rand.New(rand.NewSource(opts.Seed)), cfg.NumLinks(), opts.Horizon)
 
 	run := func(policy corropt.Policy) []corropt.Sample {
 		net := fabric.New(cfg)
@@ -56,9 +60,11 @@ func RunFleet(constraint float64, opts FleetOpts) FleetComparison {
 			Policy:     policy,
 		}, opts.SampleEvery, opts.Horizon)
 	}
-	fc := FleetComparison{Constraint: constraint, Links: fabric.New(cfg).NumLinks()}
-	fc.Vanilla = run(corropt.Vanilla)
-	fc.Combined = run(corropt.WithLinkGuardian)
+	fc := FleetComparison{Constraint: constraint, Links: cfg.NumLinks()}
+	parallel.Do(
+		func() { fc.Vanilla = run(corropt.Vanilla) },
+		func() { fc.Combined = run(corropt.WithLinkGuardian) },
+	)
 	gains, capDec := corropt.Gain(fc.Vanilla, fc.Combined)
 	// Cap infinities for the distribution (combined penalty of exactly 0).
 	for i, g := range gains {
@@ -95,7 +101,11 @@ func (fc FleetComparison) String() string {
 }
 
 // Figures15And16 runs the comparison for both capacity constraints of the
-// paper (50% and 75%).
+// paper (50% and 75%). The (constraint, policy) pairs fan out across the
+// parallel engine: each constraint's comparison is fully independent.
 func Figures15And16(opts FleetOpts) []FleetComparison {
-	return []FleetComparison{RunFleet(0.50, opts), RunFleet(0.75, opts)}
+	constraints := []float64{0.50, 0.75}
+	return parallel.Map(len(constraints), func(i int) FleetComparison {
+		return RunFleet(constraints[i], opts)
+	})
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"linkguardian/internal/core"
+	"linkguardian/internal/parallel"
 	"linkguardian/internal/simtime"
 	"linkguardian/internal/transport"
 	"linkguardian/internal/wharf"
@@ -59,41 +60,41 @@ func measureCubicGoodput(prot Protection, lossRate float64, opts Table3Opts) flo
 
 // Table3 reproduces the Wharf comparison: None (plain CUBIC), Wharf
 // (numerical model driven by the measured baseline), LinkGuardian and
-// LinkGuardianNB, on a 10G link.
+// LinkGuardianNB, on a 10G link. All 15 goodput cells (3 measured rows x 5
+// loss rates) are independent single-flow simulations and fan out across
+// the parallel engine; the Wharf row is then derived numerically from the
+// completed baseline row.
 func Table3(opts Table3Opts) []Table3Row {
-	baselineAt := func(loss float64) float64 {
-		return measureCubicGoodput(LossOnly, loss, opts)
-	}
-	// Memoized baseline for the Wharf model's residual-loss lookups.
-	cache := map[float64]float64{}
+	prots := []Protection{LossOnly, LG, LGNB}
+	n := len(Table3LossRates)
+	cells := parallel.Map(len(prots)*n, func(i int) float64 {
+		return measureCubicGoodput(prots[i/n], Table3LossRates[i%n], opts)
+	})
+	none, lg, lgnb := cells[:n], cells[n:2*n], cells[2*n:]
+
+	// Baseline lookup for the Wharf model's residual-loss queries,
+	// quantized onto the measured grid.
 	baseline := func(loss float64) float64 {
-		// Quantize residual losses onto the measured grid.
-		grid := 0.0
-		for _, q := range Table3LossRates {
-			if loss >= q && q > grid {
-				grid = q
+		gi := 0
+		for i, q := range Table3LossRates {
+			if loss >= q && q > Table3LossRates[gi] {
+				gi = i
 			}
 		}
-		if v, ok := cache[grid]; ok {
-			return v
-		}
-		v := baselineAt(grid)
-		cache[grid] = v
-		return v
+		return none[gi]
 	}
 
 	rows := []Table3Row{{Name: "None"}, {Name: "Wharf"}, {Name: "LinkGuardian"}, {Name: "LinkGuardianNB"}}
-	for _, q := range Table3LossRates {
-		none := baseline(q)
-		rows[0].Goodputs = append(rows[0].Goodputs, none)
+	for i, q := range Table3LossRates {
+		rows[0].Goodputs = append(rows[0].Goodputs, none[i])
 		if q == 0 {
 			// Wharf is n/a on a lossless link (Table 3's "n/a").
 			rows[1].Goodputs = append(rows[1].Goodputs, 0)
 		} else {
 			rows[1].Goodputs = append(rows[1].Goodputs, wharf.Goodput(baseline, q))
 		}
-		rows[2].Goodputs = append(rows[2].Goodputs, measureCubicGoodput(LG, q, opts))
-		rows[3].Goodputs = append(rows[3].Goodputs, measureCubicGoodput(LGNB, q, opts))
+		rows[2].Goodputs = append(rows[2].Goodputs, lg[i])
+		rows[3].Goodputs = append(rows[3].Goodputs, lgnb[i])
 	}
 	return rows
 }

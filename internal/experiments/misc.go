@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"linkguardian/internal/failtrace"
+	"linkguardian/internal/parallel"
 	"linkguardian/internal/phy"
 	"linkguardian/internal/simnet"
 	"linkguardian/internal/workload"
@@ -37,31 +38,49 @@ type ConsecutiveLossPoint struct {
 	CDF float64
 }
 
+// figure20ShardFrames is the fixed frame count one Figure 20 shard
+// processes with its own loss-model instance and RNG stream. Each shard's
+// run-length bookkeeping is self-contained (a loss run straddling a shard
+// boundary counts as two events — a <0.01% perturbation at these scales),
+// so shard histograms merge associatively in shard order.
+const figure20ShardFrames = 250_000
+
 // Figure20 measures the distribution of consecutive packets lost at the
 // paper's stress loss rates (1% and 5%) for both an i.i.d. link and a
 // bursty Gilbert-Elliott link. The paper measured the real VOA link; the
 // burst model reproduces the heavier tail that motivates provisioning 5
 // reTxReqs registers (§3.5, Appendix B.2).
 func Figure20(lossRate float64, bursty bool, frames int, seed int64) []ConsecutiveLossPoint {
-	rng := rand.New(rand.NewSource(seed))
-	var model simnet.LossModel = simnet.IIDLoss{P: lossRate}
-	if bursty {
-		model = simnet.NewGilbertElliott(lossRate, 1.8)
-	}
-	runs := map[int]int{}
-	cur, events := 0, 0
-	for i := 0; i < frames; i++ {
-		if model.Drops(rng) {
-			cur++
-		} else if cur > 0 {
-			runs[cur]++
-			events++
-			cur = 0
+	nshards := parallel.Blocks(frames, figure20ShardFrames)
+	shards := parallel.Map(nshards, func(s int) map[int]int {
+		lo, hi := parallel.BlockBounds(frames, figure20ShardFrames, s)
+		rng := rand.New(rand.NewSource(parallel.SeedFor(seed, s)))
+		var model simnet.LossModel = simnet.IIDLoss{P: lossRate}
+		if bursty {
+			model = simnet.NewGilbertElliott(lossRate, 1.8)
 		}
-	}
-	if cur > 0 {
-		runs[cur]++
-		events++
+		runs := map[int]int{}
+		cur := 0
+		for i := lo; i < hi; i++ {
+			if model.Drops(rng) {
+				cur++
+			} else if cur > 0 {
+				runs[cur]++
+				cur = 0
+			}
+		}
+		if cur > 0 {
+			runs[cur]++
+		}
+		return runs
+	})
+	runs := map[int]int{}
+	events := 0
+	for _, shard := range shards {
+		for l, c := range shard {
+			runs[l] += c
+			events += c
+		}
 	}
 	var lens []int
 	for l := range runs {
@@ -99,13 +118,27 @@ type Table1Check struct {
 	Observed float64
 }
 
+// table1ShardSamples is the fixed per-shard sample count of the Table 1
+// Monte-Carlo sweep; bucket counts merge by addition in shard order.
+const table1ShardSamples = 50_000
+
 // Table1 validates the trace generator's loss-rate distribution.
 func Table1(samples int, seed int64) []Table1Check {
-	rng := rand.New(rand.NewSource(seed))
+	nshards := parallel.Blocks(samples, table1ShardSamples)
+	shards := parallel.Map(nshards, func(s int) [4]int {
+		lo, hi := parallel.BlockBounds(samples, table1ShardSamples, s)
+		rng := rand.New(rand.NewSource(parallel.SeedFor(seed, s)))
+		var c [4]int
+		for i := lo; i < hi; i++ {
+			c[failtrace.BucketOf(failtrace.SampleLossRate(rng))]++
+		}
+		return c
+	})
 	counts := make([]int, 4)
-	for i := 0; i < samples; i++ {
-		r := failtrace.SampleLossRate(rng)
-		counts[failtrace.BucketOf(r)]++
+	for _, c := range shards {
+		for b, v := range c {
+			counts[b] += v
+		}
 	}
 	names := []string{"[1e-8,1e-5)", "[1e-5,1e-4)", "[1e-4,1e-3)", "[1e-3+)"}
 	expect := []float64{0.4723, 0.1843, 0.2166, 0.1267}

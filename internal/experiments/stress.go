@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"linkguardian/internal/core"
+	"linkguardian/internal/parallel"
 	"linkguardian/internal/simtime"
 	"linkguardian/internal/stats"
 )
@@ -131,16 +132,25 @@ func RunStressConfig(cfg core.Config, rate simtime.Rate, lossRate float64, opts 
 
 // Figure8 runs the full grid of Figure 8 (and, as byproducts, Figure 14,
 // Figure 19 and Table 4): {25G, 100G} x {1e-5, 1e-4, 1e-3} x {LG, LG_NB}.
+// Each cell is an independent single-link simulation, so the 12-cell grid
+// fans out across the parallel engine and merges in row-major order.
 func Figure8(opts StressOpts) []StressResult {
-	var out []StressResult
+	type cell struct {
+		rate simtime.Rate
+		loss float64
+		mode core.Mode
+	}
+	var cells []cell
 	for _, rate := range []simtime.Rate{simtime.Rate25G, simtime.Rate100G} {
 		for _, loss := range []float64{1e-5, 1e-4, 1e-3} {
 			for _, mode := range []core.Mode{core.NonBlocking, core.Ordered} {
-				out = append(out, RunStress(rate, loss, mode, opts))
+				cells = append(cells, cell{rate, loss, mode})
 			}
 		}
 	}
-	return out
+	return parallel.Map(len(cells), func(i int) StressResult {
+		return RunStress(cells[i].rate, cells[i].loss, cells[i].mode, opts)
+	})
 }
 
 // String formats the result as a Figure 8 row.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"linkguardian/internal/core"
+	"linkguardian/internal/parallel"
 	"linkguardian/internal/simnet"
 	"linkguardian/internal/simtime"
 	"linkguardian/internal/transport"
@@ -160,23 +161,27 @@ func (r TimelineResult) String() string {
 // drains the reordering buffer four times faster than the link can fill
 // it, so disabling backpressure is harmless in the simulator).
 func Figure9() (a, b TimelineResult) {
-	opts := DefaultTimelineOpts()
-	opts.Rate = simtime.Rate100G
-	a = RunTimeline(opts)
-	opts.Backpressure = false
-	b = RunTimeline(opts)
+	aOpts := DefaultTimelineOpts()
+	aOpts.Rate = simtime.Rate100G
+	bOpts := aOpts
+	bOpts.Backpressure = false
+	parallel.Do(
+		func() { a = RunTimeline(aOpts) },
+		func() { b = RunTimeline(bOpts) },
+	)
 	return a, b
 }
 
 // Figure21 runs the CUBIC (25G) and BBR (10G) timelines of Appendix B.3.
 func Figure21() (cubic, bbr TimelineResult) {
-	opts := DefaultTimelineOpts()
-	opts.Variant = transport.Cubic
-	cubic = RunTimeline(opts)
-
-	opts = DefaultTimelineOpts()
-	opts.Variant = transport.BBR
-	opts.Rate = simtime.Rate10G
-	bbr = RunTimeline(opts)
+	cuOpts := DefaultTimelineOpts()
+	cuOpts.Variant = transport.Cubic
+	bbrOpts := DefaultTimelineOpts()
+	bbrOpts.Variant = transport.BBR
+	bbrOpts.Rate = simtime.Rate10G
+	parallel.Do(
+		func() { cubic = RunTimeline(cuOpts) },
+		func() { bbr = RunTimeline(bbrOpts) },
+	)
 	return cubic, bbr
 }

@@ -6,7 +6,10 @@
 // ToR, and least capacity per pod.
 package fabric
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Config sizes the fabric. The default (256 pods) yields 98,304
 // switch-to-switch optical links — the paper's "about 100K links" at 1:1
@@ -21,6 +24,12 @@ type Config struct {
 // DefaultConfig is the Figure 4 pod shape at ~100K-link scale.
 func DefaultConfig() Config {
 	return Config{Pods: 256, ToRsPerPod: 48, FabricsPerPod: 4, SpinesPerPlane: 48}
+}
+
+// NumLinks returns the total optical link count of a fabric with this
+// configuration, without allocating the (potentially ~100K-link) Network.
+func (c Config) NumLinks() int {
+	return c.Pods * (c.ToRsPerPod*c.FabricsPerPod + c.FabricsPerPod*c.SpinesPerPlane)
 }
 
 // Link is the state of one optical link.
@@ -46,12 +55,15 @@ type Network struct {
 	// fabric-spine), maintained incrementally.
 	podCap []float64
 
-	corrupting map[int]struct{} // link IDs currently corrupting
+	// corrupting holds the IDs of currently corrupting links, kept sorted:
+	// metric sweeps iterate (and sum floats over) this set every sample,
+	// and map order would make those sums vary run to run.
+	corrupting []int
 }
 
 // New builds a fully healthy fabric.
 func New(cfg Config) *Network {
-	n := &Network{cfg: cfg, corrupting: map[int]struct{}{}}
+	n := &Network{cfg: cfg}
 	n.links = make([]Link, n.NumLinks())
 	for i := range n.links {
 		n.links[i] = Link{Up: true, EffSpeed: 1}
@@ -76,7 +88,7 @@ func (n *Network) spineLinksPerPod() int { return n.cfg.FabricsPerPod * n.cfg.Sp
 func (n *Network) linksPerPod() int      { return n.torLinksPerPod() + n.spineLinksPerPod() }
 
 // NumLinks returns the total optical link count.
-func (n *Network) NumLinks() int { return n.cfg.Pods * n.linksPerPod() }
+func (n *Network) NumLinks() int { return n.cfg.NumLinks() }
 
 // TorLinkID returns the ID of the ToR-to-fabric link (pod, tor, fab).
 func (n *Network) TorLinkID(pod, tor, fab int) int {
@@ -144,7 +156,9 @@ func (n *Network) SetUp(id int) {
 	if pod, fab, ok := n.isSpineLink(id); ok {
 		n.spineUp[pod][fab]++
 	}
-	delete(n.corrupting, id)
+	if i := sort.SearchInts(n.corrupting, id); i < len(n.corrupting) && n.corrupting[i] == id {
+		n.corrupting = append(n.corrupting[:i], n.corrupting[i+1:]...)
+	}
 }
 
 // SetCorrupting marks an up link as corrupting with the given loss rate.
@@ -152,7 +166,11 @@ func (n *Network) SetCorrupting(id int, lossRate float64) {
 	l := &n.links[id]
 	l.Corrupting = true
 	l.LossRate = lossRate
-	n.corrupting[id] = struct{}{}
+	if i := sort.SearchInts(n.corrupting, id); i == len(n.corrupting) || n.corrupting[i] != id {
+		n.corrupting = append(n.corrupting, 0)
+		copy(n.corrupting[i+1:], n.corrupting[i:])
+		n.corrupting[i] = id
+	}
 }
 
 // EnableLG activates LinkGuardian on a corrupting link, setting its
@@ -168,13 +186,10 @@ func (n *Network) EnableLG(id int, effLoss, effSpeed float64) {
 }
 
 // Corrupting returns the IDs of links currently corrupting (whether or not
-// they are disabled or LG-protected).
+// they are disabled or LG-protected), in ascending order. The caller must
+// not modify the returned slice.
 func (n *Network) Corrupting() []int {
-	out := make([]int, 0, len(n.corrupting))
-	for id := range n.corrupting {
-		out = append(out, id)
-	}
-	return out
+	return n.corrupting
 }
 
 // ----------------------------------------------------------- metrics ----
@@ -226,7 +241,7 @@ func (n *Network) LeastPodCapacityFrac() float64 {
 // LinkGuardian-protected links contribute their effective loss rate (§4.8).
 func (n *Network) TotalPenalty() float64 {
 	total := 0.0
-	for id := range n.corrupting {
+	for _, id := range n.Corrupting() {
 		l := &n.links[id]
 		if !l.Up {
 			continue

@@ -1,0 +1,134 @@
+// Package parallel is the deterministic parallel experiment engine: it
+// shards independent simulation units (FCT trial blocks, figure grid cells,
+// fleet policy runs, Monte-Carlo sweeps) across a bounded worker pool while
+// guaranteeing bit-identical results regardless of worker count or
+// scheduling order.
+//
+// The determinism contract has two halves:
+//
+//  1. Seeding: every shard derives its RNG stream from the master seed and
+//     its own shard index via SeedFor (a splitmix64-style mixer), never from
+//     a shared RNG consumed in execution order.
+//  2. Merging: shard outputs are written to index-addressed slots and
+//     concatenated/reduced in shard-index order, never in completion order.
+//
+// Any code that follows both rules produces the same bytes at -workers=1
+// and -workers=N; the regression test in internal/experiments holds the
+// experiment layer to that contract.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workerOverride is the configured worker count; 0 means use GOMAXPROCS.
+var workerOverride atomic.Int32
+
+// Workers returns the effective worker count for fan-out: the value set by
+// SetWorkers, or GOMAXPROCS when unset.
+func Workers() int {
+	if n := int(workerOverride.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers pins the worker count (the -workers flag of cmd/paper and
+// cmd/fleetsim). n <= 0 restores the GOMAXPROCS default. Results never
+// depend on this value; only wall-clock time does.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	workerOverride.Store(int32(n))
+}
+
+// SeedFor derives the RNG seed for one shard of a sharded experiment from
+// the experiment's master seed. The splitmix64 finalizer decorrelates
+// neighboring (master, shard) pairs so per-shard rand streams are
+// statistically independent, and the derivation depends only on the two
+// inputs — never on worker count or scheduling order.
+func SeedFor(master int64, shard int) int64 {
+	x := uint64(master)*0xbf58476d1ce4e5b9 + uint64(shard+1)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
+}
+
+// ForEach runs fn(i) for every i in [0, n), fanning out across up to
+// Workers() goroutines. fn must confine its writes to per-index state
+// (e.g. slot i of a results slice); iteration order is unspecified.
+// ForEach returns when all n calls have completed.
+func ForEach(n int, fn func(i int)) {
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map runs fn(i) for every i in [0, n) across the worker pool and returns
+// the results in index order — the shard-merge primitive of the engine.
+func Map[T any](n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// Do runs the given functions concurrently (each on its own goroutine, up
+// to the worker limit) and returns when all have completed. It is the
+// two-sided fan-out used for e.g. the fleet simulation's policy pair.
+func Do(fns ...func()) {
+	ForEach(len(fns), func(i int) { fns[i]() })
+}
+
+// Blocks splits n items into fixed-size blocks and returns the number of
+// blocks. Block b covers [b*size, min((b+1)*size, n)); BlockBounds returns
+// that range. The block structure depends only on (n, size), never on the
+// worker count, so sharded experiments remain deterministic.
+func Blocks(n, size int) int {
+	if n <= 0 {
+		return 0
+	}
+	if size <= 0 {
+		size = 1
+	}
+	return (n + size - 1) / size
+}
+
+// BlockBounds returns the half-open item range [lo, hi) of block b when n
+// items are split into blocks of the given size.
+func BlockBounds(n, size, b int) (lo, hi int) {
+	lo = b * size
+	hi = lo + size
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}

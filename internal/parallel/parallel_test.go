@@ -1,0 +1,117 @@
+package parallel
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrderIndependentOfWorkers(t *testing.T) {
+	// The same per-index computation must merge identically at any worker
+	// count, including counts far above GOMAXPROCS.
+	base := Map(257, func(i int) int64 { return SeedFor(42, i) })
+	for _, w := range []int{1, 2, 3, 8, 64} {
+		SetWorkers(w)
+		got := Map(257, func(i int) int64 { return SeedFor(42, i) })
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", w, i, got[i], base[i])
+			}
+		}
+	}
+	SetWorkers(0)
+}
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	SetWorkers(8)
+	defer SetWorkers(0)
+	const n = 1000
+	var visits [n]atomic.Int32
+	ForEach(n, func(i int) { visits[i].Add(1) })
+	for i := range visits {
+		if c := visits[i].Load(); c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+func TestForEachZeroAndNegative(t *testing.T) {
+	calls := 0
+	ForEach(0, func(int) { calls++ })
+	ForEach(-3, func(int) { calls++ })
+	if calls != 0 {
+		t.Fatalf("ForEach on empty range made %d calls", calls)
+	}
+}
+
+func TestDoRunsAll(t *testing.T) {
+	var a, b, c atomic.Bool
+	Do(func() { a.Store(true) }, func() { b.Store(true) }, func() { c.Store(true) })
+	if !a.Load() || !b.Load() || !c.Load() {
+		t.Fatal("Do skipped a function")
+	}
+}
+
+func TestSeedForDecorrelates(t *testing.T) {
+	// Adjacent shards of adjacent master seeds must all differ, and the
+	// derived streams should not collide over a realistic shard range.
+	seen := map[int64]bool{}
+	for master := int64(0); master < 4; master++ {
+		for shard := 0; shard < 4096; shard++ {
+			s := SeedFor(master, shard)
+			if seen[s] {
+				t.Fatalf("seed collision at master=%d shard=%d", master, shard)
+			}
+			seen[s] = true
+		}
+	}
+	// Derived streams behave like independent uniform sources.
+	r0 := rand.New(rand.NewSource(SeedFor(1, 0)))
+	r1 := rand.New(rand.NewSource(SeedFor(1, 1)))
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if r0.Intn(100) == r1.Intn(100) {
+			same++
+		}
+	}
+	if same > 50 {
+		t.Fatalf("adjacent shard streams coincide %d/1000 draws", same)
+	}
+}
+
+func TestBlocks(t *testing.T) {
+	if got := Blocks(0, 100); got != 0 {
+		t.Fatalf("Blocks(0) = %d", got)
+	}
+	if got := Blocks(1000, 250); got != 4 {
+		t.Fatalf("Blocks(1000,250) = %d, want 4", got)
+	}
+	if got := Blocks(1001, 250); got != 5 {
+		t.Fatalf("Blocks(1001,250) = %d, want 5", got)
+	}
+	// Bounds tile the range exactly.
+	n, size := 1001, 250
+	covered := 0
+	for b := 0; b < Blocks(n, size); b++ {
+		lo, hi := BlockBounds(n, size, b)
+		if lo != covered {
+			t.Fatalf("block %d starts at %d, want %d", b, lo, covered)
+		}
+		covered = hi
+	}
+	if covered != n {
+		t.Fatalf("blocks cover %d of %d items", covered, n)
+	}
+}
+
+func TestSetWorkersClamps(t *testing.T) {
+	SetWorkers(-5)
+	if Workers() <= 0 {
+		t.Fatalf("Workers() = %d after SetWorkers(-5)", Workers())
+	}
+	SetWorkers(3)
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d, want 3", Workers())
+	}
+	SetWorkers(0)
+}

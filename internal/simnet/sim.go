@@ -44,17 +44,17 @@ func NewSim(seed int64) *Sim {
 func (s *Sim) Now() simtime.Time { return simtime.Time(s.Q.Now()) }
 
 // At schedules fn at an absolute simulated time.
-func (s *Sim) At(t simtime.Time, fn func()) *eventq.Event {
+func (s *Sim) At(t simtime.Time, fn func()) eventq.Timer {
 	return s.Q.Schedule(int64(t), fn)
 }
 
 // After schedules fn d after the current time.
-func (s *Sim) After(d simtime.Duration, fn func()) *eventq.Event {
+func (s *Sim) After(d simtime.Duration, fn func()) eventq.Timer {
 	return s.Q.After(int64(d), fn)
 }
 
-// Cancel removes a pending event; safe on nil/fired events.
-func (s *Sim) Cancel(e *eventq.Event) { s.Q.Cancel(e) }
+// Cancel removes a pending event; safe on zero/fired timers.
+func (s *Sim) Cancel(t eventq.Timer) { s.Q.Cancel(t) }
 
 // Run advances the simulation until the given instant.
 func (s *Sim) Run(until simtime.Time) { s.Q.RunUntil(int64(until)) }

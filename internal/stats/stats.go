@@ -63,10 +63,9 @@ func (d *Dist) CDFAt(x float64) float64 {
 	if len(d.s) == 0 {
 		return math.NaN()
 	}
-	i := sort.SearchFloat64s(d.s, x)
-	for i < len(d.s) && d.s[i] == x {
-		i++
-	}
+	// Upper bound (first sample > x) via binary search; a linear advance
+	// over ties is O(n) on heavily tied samples such as quantized FCTs.
+	i := sort.Search(len(d.s), func(j int) bool { return d.s[j] > x })
 	return float64(i) / float64(len(d.s))
 }
 

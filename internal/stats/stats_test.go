@@ -41,6 +41,29 @@ func TestDistCDF(t *testing.T) {
 	}
 }
 
+func TestDistCDFTieHeavy(t *testing.T) {
+	// All-equal and mostly-equal samples: the upper bound must land past
+	// the whole tie run regardless of where the search enters it.
+	d := NewDist(make([]float64, 100000)) // 100K zeros
+	if got := d.CDFAt(0); got != 1 {
+		t.Errorf("CDFAt(0) on all-zeros = %v, want 1", got)
+	}
+	if got := d.CDFAt(-1); got != 0 {
+		t.Errorf("CDFAt(-1) on all-zeros = %v, want 0", got)
+	}
+	xs := append(make([]float64, 99999), 5)
+	d = NewDist(xs)
+	if got := d.CDFAt(0); got != 0.99999 {
+		t.Errorf("CDFAt(0) = %v, want 0.99999", got)
+	}
+	if got := d.CDFAt(4); got != 0.99999 {
+		t.Errorf("CDFAt(4) = %v, want 0.99999", got)
+	}
+	if got := d.CDFAt(5); got != 1 {
+		t.Errorf("CDFAt(5) = %v, want 1", got)
+	}
+}
+
 func TestMeanStdDev(t *testing.T) {
 	d := NewDist([]float64{2, 4, 4, 4, 5, 5, 7, 9})
 	if got := d.Mean(); got != 5 {

@@ -78,7 +78,7 @@ type rdmaSender struct {
 
 	retxQueue []int // selective-repeat retransmissions pending
 
-	rtoTimer *eventq.Event
+	rtoTimer eventq.Timer
 	startAt  simtime.Time
 	finished bool
 	stats    FlowStats

@@ -135,7 +135,7 @@ type tcpSender struct {
 	maxSackedIdx int // highest SACKed segment index, -1 if none
 	reoWndMult   int // RACK reordering-window multiplier (RFC 8985 §7.1)
 
-	rtoTimer, tlpTimer, rackTimer, paceTimer *eventq.Event
+	rtoTimer, tlpTimer, rackTimer, paceTimer eventq.Timer
 	tlpArmed                                 bool
 	rackXmit                                 simtime.Time // send time of most recently delivered segment
 
