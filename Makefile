@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 build vet test race bench clean
+.PHONY: all tier1 build vet test race bench chaos clean
 
 all: tier1
 
@@ -30,6 +30,19 @@ race:
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 	$(GO) test -bench . -run '^$$' ./internal/eventq
+
+# Chaos robustness gate: the curated fault scenarios plus a fixed-seed,
+# fixed-budget randomized sweep. Failures reproduce exactly from the index
+# the report names: go run ./cmd/chaos -gen <i> -seed 20230823.
+chaos:
+	$(GO) run ./cmd/chaos -scenario quiet -seed 1
+	$(GO) run ./cmd/chaos -scenario spike -seed 1
+	$(GO) run ./cmd/chaos -scenario burst -seed 1
+	$(GO) run ./cmd/chaos -scenario flap -seed 1
+	$(GO) run ./cmd/chaos -scenario ctrl-storm -seed 1
+	$(GO) run ./cmd/chaos -scenario storm -seed 1
+	$(GO) run ./cmd/chaos -scenario era-wrap -seed 1
+	$(GO) run ./cmd/chaos -soak 200 -seed 20230823
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,78 @@
+// Command chaos runs fault-injection scenarios against the LinkGuardian
+// protocol with online invariant checking, and prints an invariant/violation
+// report. It exits non-zero if any invariant fired.
+//
+// Usage:
+//
+//	chaos -list                         list the curated scenarios
+//	chaos -scenario flap [-seed 1]      run one curated scenario
+//	chaos -gen 17 [-seed 1]             run generated scenario #17 of the seed
+//	chaos -soak 200 [-seed 1] [-workers 8]
+//	                                    sweep generated scenarios in parallel
+//
+// A failing soak scenario is reproduced exactly by rerunning its index with
+// the same master seed: chaos -gen <i> -seed <master>.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"linkguardian/internal/chaos"
+	"linkguardian/internal/parallel"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list curated scenarios and exit")
+	scenario := flag.String("scenario", "", "curated scenario name to run")
+	gen := flag.Int("gen", -1, "generated scenario index to run")
+	soak := flag.Int("soak", 0, "number of generated scenarios to sweep")
+	seed := flag.Int64("seed", 1, "scenario seed (soak/gen: master seed)")
+	workers := flag.Int("workers", 0, "soak worker count (0 = all cores)")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, name := range chaos.Names() {
+			fmt.Println(name)
+		}
+
+	case *scenario != "":
+		sc, ok := chaos.Named(*scenario, *seed)
+		if !ok {
+			log.Fatalf("unknown scenario %q (try -list)", *scenario)
+		}
+		run(sc)
+
+	case *gen >= 0:
+		run(chaos.GenScenario(*seed, *gen))
+
+	case *soak > 0:
+		parallel.SetWorkers(*workers)
+		res := chaos.Soak(*seed, *soak)
+		fmt.Print(res)
+		if len(res.Failures()) > 0 {
+			fmt.Printf("reproduce a failure with: chaos -gen <i> -seed %d\n", *seed)
+			os.Exit(1)
+		}
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func run(sc chaos.Scenario) {
+	fmt.Printf("scenario %s seed=%d rate=%v frame=%dB load=%.2f window=%v steps=%d\n",
+		sc.Name, sc.Seed, sc.Rate, sc.FrameSize, sc.LoadFrac, sc.Window, len(sc.Steps))
+	for _, s := range sc.Steps {
+		fmt.Printf("  step %v\n", s)
+	}
+	r := chaos.RunScenario(sc)
+	fmt.Println(r)
+	if r.Failed() {
+		os.Exit(1)
+	}
+}

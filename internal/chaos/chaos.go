@@ -1,0 +1,239 @@
+// Package chaos is a scriptable fault-injection engine and online invariant
+// checker for the LinkGuardian protocol. A Scenario describes traffic on the
+// Figure 7 testbed plus a timed sequence of composable faults — loss-rate
+// spikes, Gilbert–Elliott burst episodes, full link flaps, targeted
+// corruption of the protocol's own control frames, reordering-buffer
+// back-pressure storms, and sequence-number era-wrap stress — and RunScenario
+// executes it with the protocol's safety and liveness invariants asserted
+// while it runs, not just at the end. The deterministic Soak sweeps hundreds
+// of generated scenarios in parallel with a bit-identical report at any
+// worker count.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"linkguardian/internal/core"
+	"linkguardian/internal/experiments"
+	"linkguardian/internal/simnet"
+	"linkguardian/internal/simtime"
+)
+
+// Rig is the running testbed a scenario's faults act on.
+type Rig struct {
+	*experiments.Testbed
+
+	// Protected is the transmitting interface of the protected direction
+	// (sw2's egress onto the corrupting link).
+	Protected *simnet.Ifc
+
+	// Rng drives the faults' randomized verdicts. It is private to the
+	// fault engine — distinct from the simulation's own RNG — so a
+	// scenario's fault pattern is a pure function of its seed.
+	Rng *rand.Rand
+}
+
+// Scenario is one self-contained chaos run: a testbed configuration, an
+// offered load, and a timed fault schedule.
+type Scenario struct {
+	Name string
+	Seed int64
+
+	// Rate is the protected link's speed; FrameSize and LoadFrac shape the
+	// offered load (MTU frames at LoadFrac of line rate).
+	Rate      simtime.Rate
+	FrameSize int
+	LoadFrac  float64
+
+	// Mode selects Ordered or NonBlocking; CtrlCopies > 1 hardens control
+	// frames (0 means the protocol default of 1).
+	Mode       core.Mode
+	CtrlCopies int
+
+	// BaseLoss is the stationary i.i.d. corruption rate present for the
+	// whole run, before any fault steps.
+	BaseLoss float64
+
+	// SeqStart/SeqEra re-base the sequence space after Enable, so a short
+	// scenario can exercise the 16-bit era wrap without transmitting 65536
+	// packets first.
+	SeqStart uint16
+	SeqEra   uint8
+
+	// DisableTailLoss ablates the dummy-packet queue — used by the
+	// regression tests to prove the checker fires when a mechanism the
+	// protocol depends on is removed.
+	DisableTailLoss bool
+
+	// Window is how long the scenario runs; Steps are clamped inside it.
+	// TrafficFrac, if in (0, 1), stops the generator after that fraction of
+	// the window while faults keep running to the end — exposing the tail
+	// of the traffic to a fault with no later packet to reveal the damage.
+	// Zero (the default) keeps traffic flowing for the whole window.
+	Window      simtime.Duration
+	TrafficFrac float64
+	Steps       []Step
+}
+
+// InEnvelope reports whether every loss source in the scenario stays inside
+// the paper's Table 1 operating envelope. Only in-envelope scenarios are
+// held to the effective-loss-rate invariant; out-of-envelope ones still get
+// the full set of safety and liveness checks.
+func (sc *Scenario) InEnvelope() bool {
+	if sc.BaseLoss > EnvelopeLossRate {
+		return false
+	}
+	for _, s := range sc.Steps {
+		if !s.Fault.InEnvelope() {
+			return false
+		}
+	}
+	return true
+}
+
+// provisionLoss is the worst in-envelope stationary loss rate the scenario
+// presents — what the monitoring daemon would have measured — feeding
+// Equation 2's choice of retransmission copies.
+func (sc *Scenario) provisionLoss() float64 {
+	p := sc.BaseLoss
+	for _, s := range sc.Steps {
+		if ls, ok := s.Fault.(LossSpike); ok && ls.InEnvelope() && ls.Rate > p {
+			p = ls.Rate
+		}
+	}
+	return p
+}
+
+// Report is the outcome of one scenario: the invariant violations (empty on
+// a healthy protocol) plus enough counters to reproduce and triage.
+type Report struct {
+	Scenario   string
+	Seed       int64
+	InEnvelope bool
+
+	TxUnique    uint64 // distinct protected seqNos transmitted
+	Forwarded   uint64 // packets handed to the IP layer
+	Outstanding int    // transmitted but never forwarded
+	Unrecovered uint64 // receiver-accounted abandoned packets
+	Overflows   uint64 // reordering-buffer tail drops
+	Retx        uint64 // retransmission events
+	Timeouts    uint64 // ackNoTimeout firings
+	Quiesced    bool   // recovery state fully drained before the deadline
+
+	Violations []Violation
+}
+
+// Failed reports whether any invariant fired.
+func (r *Report) Failed() bool { return len(r.Violations) > 0 }
+
+// String renders the report deterministically — the soak compares these
+// byte-for-byte across worker counts.
+func (r *Report) String() string {
+	var b strings.Builder
+	env := "out-of-envelope"
+	if r.InEnvelope {
+		env = "in-envelope"
+	}
+	fmt.Fprintf(&b, "%s seed=%d %s tx=%d fwd=%d outstanding=%d unrecovered=%d overflows=%d retx=%d timeouts=%d quiesced=%v",
+		r.Scenario, r.Seed, env, r.TxUnique, r.Forwarded, r.Outstanding,
+		r.Unrecovered, r.Overflows, r.Retx, r.Timeouts, r.Quiesced)
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "\n  %v", v)
+	}
+	return b.String()
+}
+
+// Drain phase bounds: the runner keeps stepping the simulation in short
+// rounds after traffic stops until the instance reports no recovery work for
+// quiesceStable consecutive rounds, giving up after quiesceRounds (a link
+// flap can leave hundreds of timeout recoveries to grind through).
+const (
+	quiesceRound  = 100 * simtime.Microsecond
+	quiesceStable = 3
+	quiesceRounds = 400
+)
+
+// RunScenario executes one scenario and returns its invariant report.
+func RunScenario(sc Scenario) *Report {
+	cfg := core.NewConfig(sc.Rate, sc.provisionLoss())
+	cfg.Mode = sc.Mode
+	if sc.CtrlCopies > 0 {
+		cfg.CtrlCopies = sc.CtrlCopies
+	}
+	cfg.TailLossDetection = !sc.DisableTailLoss
+
+	tb := experiments.NewTestbed(sc.Seed, sc.Rate, cfg)
+	tb.SetLoss(sc.BaseLoss)
+	rig := &Rig{
+		Testbed:   tb,
+		Protected: tb.Link.A(),
+		// Mix the seed so the fault stream and the simulation's own RNG
+		// never accidentally correlate.
+		Rng: rand.New(rand.NewSource(sc.Seed ^ 0x5eed_c4a0_5f4a7c15)),
+	}
+	eng := &engine{rig: rig}
+	tb.Link.FaultFn = eng.verdict
+
+	chk := Watch(tb.Sim, tb.Link, rig.Protected, tb.LG, 5*simtime.Microsecond)
+
+	tb.LG.Enable()
+	if sc.SeqStart != 0 || sc.SeqEra != 0 {
+		tb.LG.SeedSequence(sc.SeqStart, sc.SeqEra)
+	}
+
+	frame := sc.FrameSize
+	if frame <= 0 {
+		frame = simtime.MTUFrame
+	}
+	gen := tb.StartGeneratorAt(frame, sc.LoadFrac)
+	start := tb.Sim.Now()
+	for _, s := range sc.Steps {
+		eng.schedule(tb.Sim, start, sc.Window, s)
+	}
+	genWindow := sc.Window
+	if sc.TrafficFrac > 0 && sc.TrafficFrac < 1 {
+		genWindow = simtime.Duration(float64(sc.Window) * sc.TrafficFrac)
+	}
+	tb.Sim.RunFor(genWindow)
+	gen.Stop()
+	tb.Sim.RunFor(sc.Window - genWindow)
+
+	// Drain: let every in-flight recovery finish (or time out into the
+	// loss accounting) before the end-of-run invariants.
+	quiesced := false
+	stable := 0
+	for i := 0; i < quiesceRounds; i++ {
+		tb.Sim.RunFor(quiesceRound)
+		if chk.Quiesced() {
+			stable++
+			if stable >= quiesceStable {
+				quiesced = true
+				break
+			}
+		} else {
+			stable = 0
+		}
+	}
+
+	r := &Report{
+		Scenario:    sc.Name,
+		Seed:        sc.Seed,
+		InEnvelope:  sc.InEnvelope(),
+		TxUnique:    chk.TxUnique(),
+		Forwarded:   chk.Forwarded(),
+		Outstanding: chk.Outstanding(),
+		Unrecovered: tb.LG.M.Unrecovered,
+		Overflows:   tb.LG.M.RxBufOverflows,
+		Retx:        tb.LG.M.Retransmits,
+		Timeouts:    tb.LG.M.Timeouts,
+		Quiesced:    quiesced,
+	}
+	if !quiesced {
+		chk.flag(RuleLiveness, "recovery state failed to quiesce within %v after traffic stopped (missing=%d, rxHeld=%d, txBuf=%d)",
+			quiesceRounds*quiesceRound, tb.LG.MissingCount(), tb.LG.RxHeldBytes(), tb.LG.OutstandingTx())
+	}
+	r.Violations = chk.Finish(r.InEnvelope, sc.provisionLoss())
+	return r
+}

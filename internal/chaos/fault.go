@@ -1,0 +1,262 @@
+package chaos
+
+import (
+	"fmt"
+
+	"linkguardian/internal/simnet"
+	"linkguardian/internal/simtime"
+)
+
+// Fault is one composable failure mode injected into a running scenario.
+// A fault is activated at its step's start, asked for a per-frame verdict
+// on the protected link while active, and deactivated at the step's end.
+type Fault interface {
+	// Begin applies one-shot state at activation (e.g. taking the link
+	// down). Most faults do all their work in Verdict and leave it empty.
+	Begin(r *Rig)
+	// End reverts Begin at deactivation.
+	End(r *Rig)
+	// Verdict is consulted for every frame on the protected link while
+	// the fault is active. VerdictDefer passes the frame on to the next
+	// active fault and finally to the link's baseline loss model.
+	Verdict(r *Rig, pkt *simnet.Packet, from *simnet.Ifc) simnet.Verdict
+	// InEnvelope reports whether the fault keeps the link inside the
+	// paper's Table 1 corruption envelope (stationary i.i.d. loss at a
+	// rate Equation 2 was provisioned for). Only scenarios whose faults
+	// all stay in the envelope are held to the effective-loss-rate
+	// invariant.
+	InEnvelope() bool
+	fmt.Stringer
+}
+
+// EnvelopeLossRate is the highest stationary i.i.d. corruption rate
+// considered within the paper's Table 1 operating envelope; Equation 2
+// provisions retransmission copies for rates up to this.
+const EnvelopeLossRate = 1e-3
+
+// LossSpike raises the protected direction's corruption rate to Rate
+// (i.i.d. per frame) for the step window, on top of the baseline model.
+type LossSpike struct {
+	Rate float64
+}
+
+// Begin implements Fault.
+func (LossSpike) Begin(*Rig) {}
+
+// End implements Fault.
+func (LossSpike) End(*Rig) {}
+
+// Verdict drops protected-direction frames with probability Rate.
+func (f LossSpike) Verdict(r *Rig, pkt *simnet.Packet, from *simnet.Ifc) simnet.Verdict {
+	if from == r.Protected && r.Rng.Float64() < f.Rate {
+		return simnet.VerdictDrop
+	}
+	return simnet.VerdictDefer
+}
+
+// InEnvelope reports whether the spiked rate stays within Table 1.
+func (f LossSpike) InEnvelope() bool { return f.Rate <= EnvelopeLossRate }
+
+func (f LossSpike) String() string { return fmt.Sprintf("loss-spike(%.0e)", f.Rate) }
+
+// BurstEpisode overlays a Gilbert–Elliott burst-loss process on the
+// protected direction: bursts of consecutive frame drops with the given
+// mean length, at the given long-run average rate (Appendix B.2). Bursts
+// longer than the sender's reTxReqs provisioning are recoverable only via
+// the ackNoTimeout, so burst episodes are outside the envelope.
+type BurstEpisode struct {
+	AvgLoss   float64
+	MeanBurst float64
+
+	ge *simnet.GilbertElliott
+}
+
+// NewBurstEpisode builds the episode's burst chain.
+func NewBurstEpisode(avgLoss, meanBurst float64) *BurstEpisode {
+	return &BurstEpisode{
+		AvgLoss:   avgLoss,
+		MeanBurst: meanBurst,
+		ge:        simnet.NewGilbertElliott(avgLoss, meanBurst),
+	}
+}
+
+// Begin implements Fault.
+func (*BurstEpisode) Begin(*Rig) {}
+
+// End implements Fault.
+func (*BurstEpisode) End(*Rig) {}
+
+// Verdict advances the burst chain once per protected-direction frame.
+func (f *BurstEpisode) Verdict(r *Rig, pkt *simnet.Packet, from *simnet.Ifc) simnet.Verdict {
+	if from == r.Protected && f.ge.Drops(r.Rng) {
+		return simnet.VerdictDrop
+	}
+	return simnet.VerdictDefer
+}
+
+// InEnvelope: burst losses can exceed MaxConsecutiveLoss, so no.
+func (*BurstEpisode) InEnvelope() bool { return false }
+
+func (f *BurstEpisode) String() string {
+	return fmt.Sprintf("burst(%.0e,mean=%g)", f.AvgLoss, f.MeanBurst)
+}
+
+// LinkFlap takes the whole link down — both directions, data and control —
+// for the step window, then brings it back up. Frames transmitted while
+// down are lost at the receiving MACs.
+type LinkFlap struct{}
+
+// Begin takes the link down.
+func (LinkFlap) Begin(r *Rig) { r.Link.SetDown(true) }
+
+// End restores the link.
+func (LinkFlap) End(r *Rig) { r.Link.SetDown(false) }
+
+// Verdict defers; the flap acts through the link's down state.
+func (LinkFlap) Verdict(*Rig, *simnet.Packet, *simnet.Ifc) simnet.Verdict {
+	return simnet.VerdictDefer
+}
+
+// InEnvelope: an outage is far outside the stationary-loss envelope.
+func (LinkFlap) InEnvelope() bool { return false }
+
+func (LinkFlap) String() string { return "link-flap" }
+
+// CtrlCorrupt corrupts only LinkGuardian control traffic — explicit ACKs,
+// loss notifications, dummies, PFC pause/resume — with probability P per
+// frame, in whichever direction the frame travels. This is the §5
+// adversary: the protocol's own signaling is what the link damages.
+type CtrlCorrupt struct {
+	Kinds []simnet.Kind // which control kinds to target
+	P     float64
+}
+
+// Begin implements Fault.
+func (CtrlCorrupt) Begin(*Rig) {}
+
+// End implements Fault.
+func (CtrlCorrupt) End(*Rig) {}
+
+// Verdict drops targeted control frames with probability P.
+func (f CtrlCorrupt) Verdict(r *Rig, pkt *simnet.Packet, from *simnet.Ifc) simnet.Verdict {
+	for _, k := range f.Kinds {
+		if pkt.Kind == k {
+			if r.Rng.Float64() < f.P {
+				return simnet.VerdictDrop
+			}
+			return simnet.VerdictDefer
+		}
+	}
+	return simnet.VerdictDefer
+}
+
+// InEnvelope: control-channel corruption is outside the envelope.
+func (CtrlCorrupt) InEnvelope() bool { return false }
+
+func (f CtrlCorrupt) String() string {
+	return fmt.Sprintf("ctrl-corrupt(p=%g,%v)", f.P, f.Kinds)
+}
+
+// AllCtrlKinds lists every LinkGuardian control frame kind.
+func AllCtrlKinds() []simnet.Kind {
+	return []simnet.Kind{
+		simnet.KindLGAck, simnet.KindLossNotif, simnet.KindDummy,
+		simnet.KindPause, simnet.KindResume,
+	}
+}
+
+// ReorderStorm deterministically drops every Every-th data frame on the
+// protected direction — a sustained ~1/Every loss rate that keeps many
+// recoveries in flight at once and drives the reordering buffer into its
+// PFC backpressure regime (Algorithm 2 under storm conditions).
+type ReorderStorm struct {
+	Every int
+
+	n int
+}
+
+// Begin resets the frame counter.
+func (f *ReorderStorm) Begin(*Rig) { f.n = 0 }
+
+// End implements Fault.
+func (*ReorderStorm) End(*Rig) {}
+
+// Verdict drops every Every-th protected data frame.
+func (f *ReorderStorm) Verdict(r *Rig, pkt *simnet.Packet, from *simnet.Ifc) simnet.Verdict {
+	if from != r.Protected || pkt.Kind != simnet.KindData || pkt.LG == nil {
+		return simnet.VerdictDefer
+	}
+	f.n++
+	if f.n%f.Every == 0 {
+		return simnet.VerdictDrop
+	}
+	return simnet.VerdictDefer
+}
+
+// InEnvelope: a storm is a few-percent loss rate, far outside Table 1.
+func (*ReorderStorm) InEnvelope() bool { return false }
+
+func (f *ReorderStorm) String() string { return fmt.Sprintf("reorder-storm(1/%d)", f.Every) }
+
+// Step schedules one fault inside a scenario: active on [At, At+Dur),
+// clamped to the scenario's traffic window so every fault has cleared
+// before the drain phase begins.
+type Step struct {
+	At    simtime.Duration
+	Dur   simtime.Duration
+	Fault Fault
+}
+
+func (s Step) String() string {
+	return fmt.Sprintf("%v+%v %v", s.At, s.Dur, s.Fault)
+}
+
+// engine multiplexes the active faults onto the link's FaultFn: faults are
+// consulted in activation order and the first non-defer verdict wins.
+// Activations are tracked by wrapper pointer, not by Fault value — fault
+// types are free to contain uncomparable fields like slices.
+type engine struct {
+	rig    *Rig
+	active []*activation
+}
+
+type activation struct{ f Fault }
+
+func (e *engine) verdict(pkt *simnet.Packet, from *simnet.Ifc) simnet.Verdict {
+	for _, a := range e.active {
+		if v := a.f.Verdict(e.rig, pkt, from); v != simnet.VerdictDefer {
+			return v
+		}
+	}
+	return simnet.VerdictDefer
+}
+
+func (e *engine) activate(a *activation) {
+	e.active = append(e.active, a)
+	a.f.Begin(e.rig)
+}
+
+func (e *engine) deactivate(a *activation) {
+	for i, x := range e.active {
+		if x == a {
+			e.active = append(e.active[:i], e.active[i+1:]...)
+			break
+		}
+	}
+	a.f.End(e.rig)
+}
+
+// schedule arms a step's activation and deactivation on the sim clock.
+func (e *engine) schedule(sim *simnet.Sim, start simtime.Time, window simtime.Duration, s Step) {
+	at := s.At
+	if at > window {
+		at = window
+	}
+	end := s.At + s.Dur
+	if end > window {
+		end = window
+	}
+	a := &activation{f: s.Fault}
+	sim.At(start.Add(at), func() { e.activate(a) })
+	sim.At(start.Add(end), func() { e.deactivate(a) })
+}

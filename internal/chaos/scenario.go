@@ -1,0 +1,160 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"linkguardian/internal/core"
+	"linkguardian/internal/parallel"
+	"linkguardian/internal/simtime"
+)
+
+// frameInterval is the generator's inter-frame gap for a frame size and an
+// offered-load fraction, mirroring Testbed.StartGeneratorAt's pacing.
+func frameInterval(rate simtime.Rate, frameBytes int, frac float64) simtime.Duration {
+	if frac <= 0 || frac > 1 {
+		frac = 1
+	}
+	return simtime.Duration(float64(rate.Serialize(simtime.WireBytes(frameBytes))) / frac)
+}
+
+// windowFor sizes a scenario's traffic window to carry roughly targetFrames
+// frames, so a 10G and a 100G scenario cost about the same to simulate.
+func windowFor(rate simtime.Rate, frameBytes int, frac float64, targetFrames int) simtime.Duration {
+	return simtime.Duration(targetFrames) * frameInterval(rate, frameBytes, frac)
+}
+
+// named builds the curated scenario catalog for a seed. Each entry stresses
+// one fault family at a point chosen to be hard for the protocol.
+func named(seed int64) map[string]Scenario {
+	const frames = 6000
+	mk := func(name string, rate simtime.Rate, frame int, load float64) Scenario {
+		return Scenario{
+			Name:      name,
+			Seed:      seed,
+			Rate:      rate,
+			FrameSize: frame,
+			LoadFrac:  load,
+			Window:    windowFor(rate, frame, load, frames),
+		}
+	}
+	w := func(sc Scenario) simtime.Duration { return sc.Window }
+
+	quiet := mk("quiet", simtime.Rate25G, simtime.MTUFrame, 0.5)
+	quiet.BaseLoss = 1e-3
+
+	spike := mk("spike", simtime.Rate25G, simtime.MTUFrame, 0.5)
+	spike.BaseLoss = 1e-4
+	spike.Steps = []Step{{At: w(spike) / 4, Dur: w(spike) / 2, Fault: LossSpike{Rate: 1e-3}}}
+
+	burst := mk("burst", simtime.Rate25G, simtime.MTUFrame, 0.5)
+	burst.BaseLoss = 1e-4
+	burst.Steps = []Step{{At: w(burst) / 4, Dur: w(burst) / 2, Fault: NewBurstEpisode(5e-3, 6)}}
+
+	flap := mk("flap", simtime.Rate25G, simtime.MTUFrame, 0.5)
+	flap.BaseLoss = 1e-4
+	flap.Steps = []Step{{At: w(flap) / 3, Dur: 50 * simtime.Microsecond, Fault: LinkFlap{}}}
+
+	ctrl := mk("ctrl-storm", simtime.Rate25G, simtime.MTUFrame, 0.5)
+	ctrl.BaseLoss = 1e-3
+	ctrl.CtrlCopies = 2
+	ctrl.Steps = []Step{{At: w(ctrl) / 4, Dur: w(ctrl) / 2,
+		Fault: CtrlCorrupt{Kinds: AllCtrlKinds(), P: 0.2}}}
+
+	storm := mk("storm", simtime.Rate100G, simtime.MTUFrame, 0.9)
+	storm.Steps = []Step{{At: w(storm) / 4, Dur: w(storm) / 2, Fault: &ReorderStorm{Every: 40}}}
+
+	wrap := mk("era-wrap", simtime.Rate25G, simtime.MTUFrame, 0.5)
+	wrap.BaseLoss = 1e-3
+	wrap.SeqStart = 65536 - 300
+	wrap.SeqEra = 1
+
+	return map[string]Scenario{
+		quiet.Name: quiet, spike.Name: spike, burst.Name: burst,
+		flap.Name: flap, ctrl.Name: ctrl, storm.Name: storm, wrap.Name: wrap,
+	}
+}
+
+// Names lists the curated scenarios in deterministic order.
+func Names() []string {
+	m := named(0)
+	out := make([]string, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Named returns the curated scenario with the given name, seeded.
+func Named(name string, seed int64) (Scenario, bool) {
+	sc, ok := named(seed)[name]
+	return sc, ok
+}
+
+// GenScenario deterministically generates the i-th randomized scenario of a
+// soak keyed by the master seed: random link speed, frame size, load, mode,
+// baseline loss, era-wrap positioning and a 1–3 step fault schedule, with
+// the traffic window normalized to a few thousand frames regardless of link
+// speed. Same (master, i) ⇒ same scenario, at any worker count.
+func GenScenario(master int64, i int) Scenario {
+	seed := parallel.SeedFor(master, i)
+	rng := rand.New(rand.NewSource(seed))
+
+	rates := []simtime.Rate{simtime.Rate10G, simtime.Rate25G, simtime.Rate100G}
+	frames := []int{512, 1024, simtime.MTUFrame}
+	sc := Scenario{
+		Name:      fmt.Sprintf("gen-%04d", i),
+		Seed:      seed,
+		Rate:      rates[rng.Intn(len(rates))],
+		FrameSize: frames[rng.Intn(len(frames))],
+		LoadFrac:  0.3 + 0.6*rng.Float64(),
+	}
+	if rng.Intn(4) == 0 {
+		sc.Mode = core.NonBlocking
+	}
+	if rng.Intn(3) == 0 {
+		sc.CtrlCopies = 2
+	}
+	sc.BaseLoss = []float64{0, 1e-4, 1e-3}[rng.Intn(3)]
+	if rng.Intn(8) == 0 {
+		// Start just short of the 16-bit wrap so the run crosses an era
+		// boundary within its few-thousand-frame window.
+		sc.SeqStart = uint16(65536 - 100 - rng.Intn(400))
+		sc.SeqEra = uint8(rng.Intn(2))
+	}
+	sc.Window = windowFor(sc.Rate, sc.FrameSize, sc.LoadFrac, 4000+rng.Intn(6000))
+
+	// 1–3 sequential, non-overlapping fault steps, each confined to its own
+	// slot of the window.
+	nSteps := 1 + rng.Intn(3)
+	slot := sc.Window / simtime.Duration(nSteps)
+	for k := 0; k < nSteps; k++ {
+		at := simtime.Duration(k)*slot + slot/8
+		dur := slot / 4 * simtime.Duration(1+rng.Intn(2))
+		var f Fault
+		switch rng.Intn(5) {
+		case 0:
+			f = LossSpike{Rate: []float64{1e-3, 1e-2, 5e-2}[rng.Intn(3)]}
+		case 1:
+			f = NewBurstEpisode(1e-3*float64(1+rng.Intn(9)), 3+5*rng.Float64())
+		case 2:
+			f = LinkFlap{}
+			dur = simtime.Duration(20+rng.Intn(80)) * simtime.Microsecond
+		case 3:
+			kinds := AllCtrlKinds()
+			if rng.Intn(2) == 0 {
+				// Sometimes target a single control kind — the sharpest
+				// attack on any one mechanism.
+				k := rng.Intn(len(kinds))
+				kinds = kinds[k : k+1]
+			}
+			f = CtrlCorrupt{Kinds: kinds, P: 0.05 + 0.25*rng.Float64()}
+		default:
+			f = &ReorderStorm{Every: 30 + rng.Intn(70)}
+		}
+		sc.Steps = append(sc.Steps, Step{At: at, Dur: dur, Fault: f})
+	}
+	return sc
+}

@@ -148,6 +148,16 @@ type Config struct {
 	// and pause/resume transmissions are quantized to it.
 	TimerQuantum simtime.Duration
 
+	// PauseQuanta bounds how long a single PFC pause frame holds the
+	// sender's queue without a refresh (real PFC pause-quanta semantics).
+	// While the reordering buffer stays above the resume threshold the
+	// receiver refreshes the pause every PauseRefresh, so the bound only
+	// bites when control frames are corrupted: a lost resume stalls the
+	// sender for at most one quantum instead of forever (§5, "Handling
+	// bursty losses"). Zero disables expiry (legacy infinite pause).
+	PauseQuanta  simtime.Duration
+	PauseRefresh simtime.Duration
+
 	// AckInterval and DummyInterval pace the self-replenishing queues.
 	// The hardware replenishes per-packet at line rate; pacing to 200ns
 	// keeps simulation cost sane while preserving sub-µs signal freshness.
@@ -178,6 +188,8 @@ func NewConfig(speed simtime.Rate, actualLossRate float64) Config {
 		PipelineLatency:     1500 * simtime.Nanosecond,
 		RecircBufBytes:      200 << 10,
 		TimerQuantum:        100 * simtime.Nanosecond,
+		PauseQuanta:         10 * simtime.Microsecond,
+		PauseRefresh:        4 * simtime.Microsecond,
 		AckInterval:         200 * simtime.Nanosecond,
 		DummyInterval:       200 * simtime.Nanosecond,
 		PipelineCapacityPps: 1e9,

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"testing"
+
+	"linkguardian/internal/simnet"
+	"linkguardian/internal/simtime"
+)
+
+// dropCtrlNth drops the nth, (n2)th... frames of the given kind crossing the
+// link in the direction transmitted by from (1-indexed per kind).
+func dropCtrlNth(link *simnet.Link, from *simnet.Ifc, kind simnet.Kind, drops ...int) {
+	want := map[int]bool{}
+	for _, d := range drops {
+		want[d] = true
+	}
+	count := 0
+	prev := link.DropFn
+	link.DropFn = func(p *simnet.Packet, f *simnet.Ifc) bool {
+		if prev != nil && prev(p, f) {
+			return true
+		}
+		if f != from || p.Kind != kind {
+			return false
+		}
+		count++
+		return want[count]
+	}
+}
+
+// With CtrlCopies = 2 and no control loss, both copies of a loss
+// notification reach the sender; the reTxReqs update must absorb the
+// duplicate so each lost packet is retransmitted exactly once (§5,
+// "Handling bursty losses": duplicates are absorbed idempotently).
+func TestCtrlCopiesNotifDuplicateAbsorbed(t *testing.T) {
+	cfg := NewConfig(simtime.Rate25G, 1e-4)
+	cfg.CtrlCopies = 2
+	tb := newTestbed(t, simtime.Rate25G, cfg)
+	tb.lg.Enable()
+	dropDataNth(tb.link, tb.link.A(), 10)
+	tb.sendBurst(0, 50, 1400)
+	tb.runFor(5 * simtime.Millisecond)
+	if len(tb.recvSeqs) != 50 {
+		t.Fatalf("delivered %d, want 50", len(tb.recvSeqs))
+	}
+	if !inOrder(tb.recvSeqs) {
+		t.Fatal("reordered")
+	}
+	m := &tb.lg.M
+	if m.Retransmits != 1 {
+		t.Fatalf("retransmits = %d, want 1 (duplicate notification must be absorbed)", m.Retransmits)
+	}
+	if want := uint64(tb.lg.Copies()); m.RetxCopies != want {
+		t.Fatalf("retx copies = %d, want %d (no extra copies from the duplicate notif)", m.RetxCopies, want)
+	}
+}
+
+// With CtrlCopies = 2, losing the first copy of every loss notification must
+// not delay recovery past the retransmission path: the surviving duplicate
+// carries the same reTxReqs update.
+func TestCtrlCopiesNotifLossTolerated(t *testing.T) {
+	cfg := NewConfig(simtime.Rate25G, 1e-4)
+	cfg.CtrlCopies = 2
+	tb := newTestbed(t, simtime.Rate25G, cfg)
+	tb.lg.Enable()
+	dropDataNth(tb.link, tb.link.A(), 10)
+	// Notifications travel sw6 -> sw2; CtrlCopies = 2 sends them in
+	// back-to-back pairs, so dropping the odd frames kills the first copy
+	// of every pair.
+	dropCtrlNth(tb.link, tb.link.B(), simnet.KindLossNotif, 1, 3, 5, 7)
+	tb.sendBurst(0, 50, 1400)
+	tb.runFor(5 * simtime.Millisecond)
+	if len(tb.recvSeqs) != 50 {
+		t.Fatalf("delivered %d, want 50 (recovery must survive notif loss)", len(tb.recvSeqs))
+	}
+	if !inOrder(tb.recvSeqs) {
+		t.Fatal("reordered")
+	}
+	m := &tb.lg.M
+	if m.Retransmits != 1 {
+		t.Fatalf("retransmits = %d, want 1", m.Retransmits)
+	}
+	if m.Timeouts != 0 {
+		t.Fatal("recovery fell back to the ackNoTimeout despite the duplicate notification")
+	}
+}
+
+// The same single loss with CtrlCopies = 1 and the notification corrupted
+// must fall back to the ackNoTimeout — the contrast proving the duplicate
+// in TestCtrlCopiesNotifLossTolerated is what carried the recovery.
+func TestSingleCtrlCopyNotifLossTimesOut(t *testing.T) {
+	cfg := NewConfig(simtime.Rate25G, 1e-4)
+	tb := newTestbed(t, simtime.Rate25G, cfg)
+	tb.lg.Enable()
+	dropDataNth(tb.link, tb.link.A(), 10)
+	dropCtrlNth(tb.link, tb.link.B(), simnet.KindLossNotif, 1)
+	tb.sendBurst(0, 50, 1400)
+	tb.runFor(5 * simtime.Millisecond)
+	if !inOrder(tb.recvSeqs) {
+		t.Fatal("reordered")
+	}
+	m := &tb.lg.M
+	if m.Timeouts == 0 {
+		t.Fatal("lost sole notification should force an ackNoTimeout")
+	}
+}
+
+// With CtrlCopies = 2 under sustained loss and line-rate load, losing the
+// first copy of every PFC resume frame must not stall the sender: the
+// surviving duplicate resumes the queue, and duplicate pause/resume frames
+// are absorbed idempotently by the port (§3.5).
+func TestCtrlCopiesResumeLossTolerated(t *testing.T) {
+	cfg := NewConfig(simtime.Rate100G, 1e-3)
+	cfg.CtrlCopies = 2
+	tb := newTestbed(t, simtime.Rate100G, cfg)
+	tb.lg.Enable()
+	// One composite DropFn (it replaces the loss model wholesale): three
+	// consecutive original data frames die every 3000 — each episode stalls
+	// the pipeline long enough to cross the pause threshold — and the first
+	// copy of every back-to-back resume pair dies on the way back.
+	dataN, resumeN := 0, 0
+	tb.link.DropFn = func(p *simnet.Packet, f *simnet.Ifc) bool {
+		if f == tb.link.A() && p.LG != nil && !p.LG.Dummy && !p.LG.Retx {
+			dataN++
+			k := dataN % 3000
+			return k >= 1 && k <= 3
+		}
+		if f == tb.link.B() && p.Kind == simnet.KindResume {
+			resumeN++
+			return resumeN%2 == 1
+		}
+		return false
+	}
+	tb.sendBurst(0, 30000, 1400)
+	tb.runFor(10 * simtime.Millisecond)
+	m := &tb.lg.M
+	if m.Pauses == 0 || m.Resumes == 0 {
+		t.Fatalf("backpressure never engaged: pauses=%d resumes=%d", m.Pauses, m.Resumes)
+	}
+	if m.RxBufOverflows != 0 {
+		t.Fatalf("reordering buffer overflowed %d times", m.RxBufOverflows)
+	}
+	if !inOrder(tb.recvSeqs) {
+		t.Fatal("reordered under resume loss")
+	}
+	// No stall: every packet is delivered or accounted unrecovered.
+	if uint64(len(tb.recvSeqs))+m.Unrecovered != 30000 {
+		t.Fatalf("delivered %d + unrecovered %d != 30000: sender left paused?",
+			len(tb.recvSeqs), m.Unrecovered)
+	}
+}

@@ -50,6 +50,8 @@ type Instance struct {
 	paused     bool      // curr_state of Algorithm 2
 	stallArmed bool      // an ackNoTimeout watch is pending
 
+	pauseRefreshArmed bool // a PauseRefresh tick is pending
+
 	dummySeeded, ackSeeded bool
 	dummyOut, ackOut       int // our packets pending in the shared low-prio queues
 
@@ -236,6 +238,48 @@ func chainDequeue(q *simnet.Queue, fn func(*simnet.Packet)) {
 		fn(p)
 	}
 }
+
+// OnForward registers an observer of packets at the instant they are
+// forwarded onward to the IP layer, before header stripping. The chaos
+// invariant checker attaches here; multiple observers stack.
+func (g *Instance) OnForward(fn func(*simnet.Packet)) {
+	prev := g.forwardHook
+	if prev == nil {
+		g.forwardHook = fn
+		return
+	}
+	g.forwardHook = func(p *simnet.Packet) {
+		prev(p)
+		fn(p)
+	}
+}
+
+// SeedSequence re-bases the instance's entire sequence state so the next
+// protected packet is stamped {n, era}. Both ends are re-initialized
+// consistently, exactly as Enable does from {1, 0} — the control plane
+// performs the same synchronized bootstrap (§3.5). Chaos-testing uses it
+// to place a run just short of the 16-bit wrap so era transitions are
+// exercised cheaply. Call it only while no protected packets are in
+// flight (immediately after Enable).
+func (g *Instance) SeedSequence(n uint16, era uint8) {
+	start := seqnum.Seq{N: n, Era: era & 1}
+	g.nextSeq = start
+	g.lastTx = start.Add(-1)
+	g.senderLatestRx = g.lastTx
+	g.latestRx = g.lastTx
+	g.ackView = g.lastTx
+	g.ackNo = start
+	g.notified = g.lastTx
+}
+
+// RxHeldBytes returns the current reordering-buffer occupancy.
+func (g *Instance) RxHeldBytes() int { return g.rxHeld }
+
+// OutstandingTx returns the number of packets held in the Tx buffer.
+func (g *Instance) OutstandingTx() int { return len(g.txBuf) }
+
+// MissingCount returns the number of open loss records at the receiver.
+func (g *Instance) MissingCount() int { return len(g.missing) }
 
 // quantize rounds an instant up to the next timer-packet tick (§3.5:
 // timekeeping uses the switch packet generator's 10Mpps timer stream).

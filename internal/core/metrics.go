@@ -31,6 +31,7 @@ type Metrics struct {
 	RxBufOverflows  uint64 // reordering-buffer tail drops (Figure 9b)
 	ReceiverLoops   uint64 // reordering-buffer recirculation loops (Table 4)
 	Pauses, Resumes uint64
+	PauseRefreshes  uint64 // quanta-keepalive pause frames re-sent mid-pause
 	AcksSent        uint64 // explicit ACK packets
 	AcksPiggybacked uint64
 

@@ -16,6 +16,11 @@
 // inert, so the free list can reuse memory without use-after-fire hazards.
 package eventq
 
+import (
+	"fmt"
+	"sort"
+)
+
 // event is one heap entry. Instances are owned by the queue and recycled
 // through its free list; external code only ever sees Timer handles.
 type event struct {
@@ -159,15 +164,37 @@ func (q *Queue) RunUntil(deadline int64) {
 
 // Drain fires events until none remain. maxEvents bounds runaway
 // simulations: Drain panics if it fires more than maxEvents events
-// (use <=0 for no bound).
+// (use <=0 for no bound). The panic message carries queue diagnostics —
+// current sim time, pending event count, the next few deadlines — so a
+// non-quiescing run (e.g. a chaos scenario that left a replenishing
+// queue alive) can be debugged from the failure alone.
 func (q *Queue) Drain(maxEvents int64) {
 	var n int64
 	for q.Step() {
 		n++
 		if maxEvents > 0 && n > maxEvents {
-			panic("eventq: event budget exceeded; simulation is likely not quiescing")
+			panic(fmt.Sprintf(
+				"eventq: event budget %d exceeded; simulation is likely not quiescing (%s)",
+				maxEvents, q.diagnose(5)))
 		}
 	}
+}
+
+// diagnose summarizes queue state for the Drain panic: the current time,
+// how many live events are pending, and the earliest k deadlines.
+func (q *Queue) diagnose(k int) string {
+	next := make([]int64, 0, len(q.h))
+	for _, e := range q.h {
+		if e.fn != nil {
+			next = append(next, e.at)
+		}
+	}
+	sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+	if len(next) > k {
+		next = next[:k]
+	}
+	return fmt.Sprintf("now=%dns, %d live events, next deadlines (ns): %v",
+		q.now, q.live, next)
 }
 
 // purgeCanceled pops lazily-canceled entries off the heap root so that

@@ -3,6 +3,7 @@ package eventq
 import (
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -156,6 +157,31 @@ func TestDrainBudget(t *testing.T) {
 		}
 	}()
 	q.Drain(1000)
+}
+
+// The budget panic must carry enough queue state to debug a hang: the sim
+// time it stopped at, the live event count, and the next deadlines.
+func TestDrainBudgetPanicDiagnostics(t *testing.T) {
+	var q Queue
+	var bomb func()
+	bomb = func() { q.After(7, bomb) }
+	q.After(7, bomb)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("runaway simulation did not trip the event budget")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %T, want string", r)
+		}
+		for _, want := range []string{"budget 10", "now=77ns", "1 live events", "next deadlines (ns): [84]"} {
+			if !strings.Contains(msg, want) {
+				t.Fatalf("panic message %q missing %q", msg, want)
+			}
+		}
+	}()
+	q.Drain(10)
 }
 
 // A stale handle — held across its event's firing and the slot's reuse —

@@ -68,8 +68,18 @@ type Generator struct {
 
 // StartGenerator begins line-rate injection of frameBytes-sized frames.
 func (tb *Testbed) StartGenerator(frameBytes int) *Generator {
+	return tb.StartGeneratorAt(frameBytes, 1)
+}
+
+// StartGeneratorAt begins paced injection of frameBytes-sized frames at
+// the given fraction of line rate — the offered-load knob of the chaos
+// scenarios. frac is clamped to (0, 1].
+func (tb *Testbed) StartGeneratorAt(frameBytes int, frac float64) *Generator {
+	if frac <= 0 || frac > 1 {
+		frac = 1
+	}
 	g := &Generator{tb: tb, size: frameBytes, running: true}
-	interval := tb.rate.Serialize(simtime.WireBytes(frameBytes))
+	interval := simtime.Duration(float64(tb.rate.Serialize(simtime.WireBytes(frameBytes))) / frac)
 	var tick func()
 	tick = func() {
 		if !g.running {

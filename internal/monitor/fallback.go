@@ -22,10 +22,16 @@ type FallbackConfig struct {
 	DisableAbove float64
 	// RestoreBelow switches back to Ordered once the rate drops below it.
 	RestoreBelow float64
+	// MinDwell is the minimum time between mode switches. A loss rate
+	// hovering around NonBlockingAbove/RestoreBelow would otherwise flap
+	// the instance between Ordered and NonBlocking on every poll; the
+	// dwell caps the switch rate at one per MinDwell. DisableAbove is a
+	// safety action and is exempt.
+	MinDwell simtime.Duration
 }
 
 // DefaultFallbackConfig uses one-second polling with mode fallback at 2%
-// loss and full disable at 20%.
+// loss, full disable at 20%, and a 10-second dwell between mode switches.
 func DefaultFallbackConfig() FallbackConfig {
 	return FallbackConfig{
 		PollInterval:     simtime.Second,
@@ -33,6 +39,7 @@ func DefaultFallbackConfig() FallbackConfig {
 		NonBlockingAbove: 2e-2,
 		DisableAbove:     0.2,
 		RestoreBelow:     5e-3,
+		MinDwell:         10 * simtime.Second,
 	}
 }
 
@@ -51,7 +58,9 @@ type Fallback struct {
 	Switches int
 	Disabled bool
 
-	running bool
+	lastSwitch simtime.Time
+	switched   bool // a switch has happened (distinguishes t=0)
+	running    bool
 }
 
 // NewFallback creates a controller for the instance protecting the
@@ -89,20 +98,33 @@ func (f *Fallback) poll() {
 	loss := float64(snap.bad-base.bad) / float64(dAll)
 	switch {
 	case loss >= f.cfg.DisableAbove:
+		// Beyond-salvage safety action: never delayed by the dwell.
 		if f.g.Enabled() {
 			f.g.Disable()
 			f.Disabled = true
-			f.Switches++
+			f.noteSwitch()
 		}
 	case loss >= f.cfg.NonBlockingAbove:
-		if f.g.Mode() == core.Ordered {
+		if f.g.Mode() == core.Ordered && f.dwellElapsed() {
 			f.g.SetMode(core.NonBlocking)
-			f.Switches++
+			f.noteSwitch()
 		}
 	case loss < f.cfg.RestoreBelow:
-		if f.g.Enabled() && f.g.Mode() == core.NonBlocking {
+		if f.g.Enabled() && f.g.Mode() == core.NonBlocking && f.dwellElapsed() {
 			f.g.SetMode(core.Ordered)
-			f.Switches++
+			f.noteSwitch()
 		}
 	}
+}
+
+// dwellElapsed reports whether enough time has passed since the last mode
+// switch for another one.
+func (f *Fallback) dwellElapsed() bool {
+	return !f.switched || f.sim.Now().Sub(f.lastSwitch) >= f.cfg.MinDwell
+}
+
+func (f *Fallback) noteSwitch() {
+	f.Switches++
+	f.switched = true
+	f.lastSwitch = f.sim.Now()
 }

@@ -76,6 +76,48 @@ func TestFallbackDisablesAtExtremeLoss(t *testing.T) {
 	}
 }
 
+// A loss rate hovering around the NonBlockingAbove/RestoreBelow thresholds
+// must not flap the mode on every poll: the dwell time bounds the switch
+// rate at one per MinDwell.
+func TestFallbackDwellBoundsHoveringSwitches(t *testing.T) {
+	cfg := fallbackCfg()
+	cfg.MinDwell = 10 * simtime.Millisecond
+	r := newLifecycleRig(testConfig())
+	r.lg.Enable()
+	fb := NewFallback(r.sim, r.lg, r.link.B(), cfg)
+	fb.Start()
+
+	steadyTraffic(r, 200000, 2*simtime.Microsecond)
+	// Hover: flip between 5% loss and lossless every 2ms — each new
+	// counter window lands on the other side of the thresholds.
+	const total = 100 * simtime.Millisecond
+	hi := true
+	for at := simtime.Duration(0); at < total; at += 2 * simtime.Millisecond {
+		up := hi
+		r.sim.At(simtime.Time(at), func() {
+			if up {
+				r.link.SetLoss(r.link.A(), simnet.IIDLoss{P: 5e-2})
+			} else {
+				r.link.SetLoss(r.link.A(), nil)
+			}
+		})
+		hi = !hi
+	}
+	r.sim.RunFor(total)
+	if fb.Disabled {
+		t.Fatal("hovering 5% loss must not disable the instance")
+	}
+	if fb.Switches < 2 {
+		t.Fatalf("switches = %d, want >= 2 (the controller must still react)", fb.Switches)
+	}
+	// At most one switch per dwell period, plus the initial one.
+	maxSwitches := int(total/cfg.MinDwell) + 1
+	if fb.Switches > maxSwitches {
+		t.Fatalf("switches = %d over %v with dwell %v, want <= %d",
+			fb.Switches, total, cfg.MinDwell, maxSwitches)
+	}
+}
+
 func TestFallbackIdleLinkNoAction(t *testing.T) {
 	r := newLifecycleRig(testConfig())
 	r.lg.Enable()

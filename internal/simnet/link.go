@@ -85,8 +85,10 @@ func (i *Ifc) receive(pkt *Packet, corrupted bool) {
 	switch pkt.Kind {
 	case KindPause:
 		// PFC frames are absorbed by the RX MAC and pause this link's
-		// own egress queue of the given class (§3.5).
-		i.Port.Pause(pkt.PauseClass, true)
+		// own egress queue of the given class (§3.5). A pause carrying
+		// quanta self-expires unless refreshed, so a corrupted resume
+		// frame can stall the queue for at most one quantum.
+		i.Port.PauseFor(pkt.PauseClass, pkt.PauseQuanta)
 		return
 	case KindResume:
 		i.Port.Pause(pkt.PauseClass, false)
@@ -98,6 +100,20 @@ func (i *Ifc) receive(pkt *Packet, corrupted bool) {
 	i.node.HandlePacket(pkt, i)
 }
 
+// Verdict is a fault injector's per-frame decision, consulted before the
+// link's configured loss model.
+type Verdict int8
+
+// Fault verdicts.
+const (
+	// VerdictDefer leaves the frame to the link's DropFn or loss model.
+	VerdictDefer Verdict = iota
+	// VerdictDrop corrupts the frame (dropped at the receiving MAC).
+	VerdictDrop
+	// VerdictDeliver forces delivery, bypassing the loss model.
+	VerdictDeliver
+)
+
 // Link is a full-duplex point-to-point link with independent per-direction
 // corruption models. Corruption drops happen at the receiving MAC, matching
 // where the paper's losses occur.
@@ -108,13 +124,22 @@ type Link struct {
 	// Loss models for each direction (a→b and b→a).
 	lossAB, lossBA LossModel
 
+	down bool
+
+	// FaultFn, if set, gets first say on every frame in both directions:
+	// VerdictDrop corrupts it, VerdictDeliver forces it through, and
+	// VerdictDefer falls back to DropFn or the loss models. The chaos
+	// engine installs its fault multiplexer here, on top of whatever
+	// baseline corruption the loss models provide.
+	FaultFn func(pkt *Packet, from *Ifc) Verdict
+
 	// DropFn, if set, decides corruption per packet instead of the loss
 	// models — deterministic fault injection for tests and experiments
 	// that must target specific packets.
 	DropFn func(pkt *Packet, from *Ifc) bool
 
 	// onDeliver observes every frame at its delivery decision point
-	// (after the corruption verdict); installed by Tracer.Tap.
+	// (after the corruption verdict); installed by TapDeliver.
 	onDeliver func(pkt *Packet, from *Ifc, corrupted bool)
 }
 
@@ -146,6 +171,30 @@ func (l *Link) LossRate(from *Ifc) float64 {
 	return l.lossBA.Rate()
 }
 
+// SetDown flaps the link: while down, every frame in both directions is
+// lost at the receiving MAC (counted as corrupted, so the monitoring
+// counters see the outage). Bringing the link back up restores normal
+// delivery; frames already in flight are unaffected.
+func (l *Link) SetDown(down bool) { l.down = down }
+
+// Down reports the flap state.
+func (l *Link) Down() bool { return l.down }
+
+// TapDeliver installs an observer at the link's delivery decision point:
+// fn sees every frame transmitted in either direction together with its
+// corruption verdict. Multiple taps stack in installation order.
+func (l *Link) TapDeliver(fn func(pkt *Packet, from *Ifc, corrupted bool)) {
+	prev := l.onDeliver
+	if prev == nil {
+		l.onDeliver = fn
+		return
+	}
+	l.onDeliver = func(pkt *Packet, from *Ifc, corrupted bool) {
+		prev(pkt, from, corrupted)
+		fn(pkt, from, corrupted)
+	}
+}
+
 func (l *Link) deliver(pkt *Packet, from *Ifc) {
 	to := l.b
 	model := l.lossAB
@@ -153,16 +202,31 @@ func (l *Link) deliver(pkt *Packet, from *Ifc) {
 		to = l.a
 		model = l.lossBA
 	}
-	var corrupted bool
-	if l.DropFn != nil {
-		corrupted = l.DropFn(pkt, from)
-	} else {
-		corrupted = model.Drops(l.sim.Rng)
-	}
+	corrupted := l.verdict(pkt, from, model)
 	if l.onDeliver != nil {
 		l.onDeliver(pkt, from, corrupted)
 	}
 	l.sim.After(l.Delay, func() { to.receive(pkt, corrupted) })
+}
+
+// verdict decides whether the frame is corrupted: flap state first, then
+// the fault injector, then the deterministic DropFn, then the loss model.
+func (l *Link) verdict(pkt *Packet, from *Ifc, model LossModel) bool {
+	if l.down {
+		return true
+	}
+	if l.FaultFn != nil {
+		switch l.FaultFn(pkt, from) {
+		case VerdictDrop:
+			return true
+		case VerdictDeliver:
+			return false
+		}
+	}
+	if l.DropFn != nil {
+		return l.DropFn(pkt, from)
+	}
+	return model.Drops(l.sim.Rng)
 }
 
 // Connect joins two nodes with a link of the given per-direction rate and

@@ -96,6 +96,11 @@ type Packet struct {
 	// PFC pause/resume frames carry the priority class they pause.
 	PauseClass int
 
+	// PauseQuanta, on pause frames, bounds how long the pause holds
+	// without a refresh (real PFC pause-quanta semantics). Zero means the
+	// pause holds until an explicit resume.
+	PauseQuanta simtime.Duration
+
 	// LinkGuardian headers (nil when the feature is inactive on the path).
 	LG    *LGData
 	LGAck *LGAck

@@ -1,6 +1,9 @@
 package simnet
 
-import "linkguardian/internal/simtime"
+import (
+	"linkguardian/internal/eventq"
+	"linkguardian/internal/simtime"
+)
 
 // Queue is one FIFO class of an egress port. The zero value is an unbounded,
 // unpaused queue.
@@ -12,6 +15,8 @@ type Queue struct {
 	// Paused stops dequeues from this class (PFC). An in-flight frame
 	// finishes transmitting; pausing only prevents new dequeues.
 	paused bool
+	// expiry auto-resumes a quanta-bounded pause (PauseFor).
+	expiry eventq.Timer
 
 	// MaxBytes, if positive, tail-drops enqueues that would exceed it.
 	MaxBytes int
@@ -121,12 +126,33 @@ func (p *Port) Enqueue(pkt *Packet) bool {
 }
 
 // Pause sets the PFC pause state of one class and kicks the transmitter on
-// resume.
+// resume. An explicit pause or resume cancels any pending quanta expiry.
 func (p *Port) Pause(class int, paused bool) {
-	p.qs[class].paused = paused
+	q := &p.qs[class]
+	p.sim.Cancel(q.expiry)
+	q.expiry = eventq.Timer{}
+	q.paused = paused
 	if !paused {
 		p.kick()
 	}
+}
+
+// PauseFor pauses one class for at most quanta (real PFC pause-quanta
+// semantics): the pause auto-expires unless refreshed by another pause
+// frame or lifted early by a resume. quanta <= 0 pauses indefinitely.
+func (p *Port) PauseFor(class int, quanta simtime.Duration) {
+	if quanta <= 0 {
+		p.Pause(class, true)
+		return
+	}
+	q := &p.qs[class]
+	p.sim.Cancel(q.expiry)
+	q.paused = true
+	q.expiry = p.sim.After(quanta, func() {
+		q.expiry = eventq.Timer{}
+		q.paused = false
+		p.kick()
+	})
 }
 
 func (p *Port) kick() {

@@ -111,11 +111,7 @@ func (t *Tracer) Filter(keep func(TraceEvent) bool) []TraceEvent {
 // direction is recorded at its delivery decision point, with the
 // corruption verdict. Multiple taps stack.
 func (t *Tracer) Tap(sim *Sim, l *Link) {
-	prev := l.onDeliver
-	l.onDeliver = func(pkt *Packet, from *Ifc, corrupted bool) {
-		if prev != nil {
-			prev(pkt, from, corrupted)
-		}
+	l.TapDeliver(func(pkt *Packet, from *Ifc, corrupted bool) {
 		e := TraceEvent{
 			At:        sim.Now(),
 			Link:      from.Name,
@@ -139,5 +135,5 @@ func (t *Tracer) Tap(sim *Sim, l *Link) {
 			e.NotifCount = len(pkt.Notif.Missing)
 		}
 		t.record(e)
-	}
+	})
 }
