@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 build vet test race bench chaos clean
+.PHONY: all tier1 build vet test race bench chaos cover fuzz clean
 
 all: tier1
 
@@ -30,6 +30,20 @@ race:
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 	$(GO) test -bench . -run '^$$' ./internal/eventq
+
+# Ratcheted per-package coverage gate. Floors live in
+# scripts/coverage_thresholds.txt; raise them as coverage improves.
+cover:
+	./scripts/covercheck.sh
+
+# Fuzz smoke pass: ~30s total across the four native fuzz targets. The
+# checked-in crasher corpus under testdata/fuzz/ also runs during plain
+# `go test`, so regressions are caught even without -fuzz.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzSeqCompare -fuzztime 8s ./internal/seqnum
+	$(GO) test -run '^$$' -fuzz FuzzLGDataWire -fuzztime 7s ./internal/simnet
+	$(GO) test -run '^$$' -fuzz FuzzLGAckWire -fuzztime 7s ./internal/simnet
+	$(GO) test -run '^$$' -fuzz FuzzTraceEventString -fuzztime 8s ./internal/simnet
 
 # Chaos robustness gate: the curated fault scenarios plus a fixed-seed,
 # fixed-budget randomized sweep. Failures reproduce exactly from the index

@@ -12,6 +12,12 @@
 //
 // A failing soak scenario is reproduced exactly by rerunning its index with
 // the same master seed: chaos -gen <i> -seed <master>.
+//
+// -artifacts <dir> arms the flight recorder: every failing scenario dumps
+// its trace-ring tail (JSONL + Chrome trace_event), metrics snapshot and
+// violation summary into a subdirectory keyed by scenario name, index and
+// seed. -trace/-metrics-out write the trace and metrics of a single run
+// (-scenario/-gen) whether or not it fails.
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"os"
 
 	"linkguardian/internal/chaos"
+	"linkguardian/internal/obs"
 	"linkguardian/internal/parallel"
 )
 
@@ -31,7 +38,24 @@ func main() {
 	soak := flag.Int("soak", 0, "number of generated scenarios to sweep")
 	seed := flag.Int64("seed", 1, "scenario seed (soak/gen: master seed)")
 	workers := flag.Int("workers", 0, "soak worker count (0 = all cores)")
+	artifacts := flag.String("artifacts", "", "flight-recorder directory for failing scenarios")
+	tracePath := flag.String("trace", "", "single run: write the protected link's trace (.jsonl = JSONL, else Chrome trace_event)")
+	traceCap := flag.Int("trace-cap", 0, "trace ring capacity (0 = default 2048)")
+	metricsOut := flag.String("metrics-out", "", "single run: write the final metrics snapshot as JSON")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile")
+	memprofile := flag.String("memprofile", "", "write a heap profile")
 	flag.Parse()
+
+	stopProf, err := obs.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := chaos.RunOpts{
+		ArtifactDir: *artifacts,
+		TraceCap:    *traceCap,
+		Index:       -1,
+		KeepTrace:   *tracePath != "",
+	}
 
 	switch {
 	case *list:
@@ -44,15 +68,22 @@ func main() {
 		if !ok {
 			log.Fatalf("unknown scenario %q (try -list)", *scenario)
 		}
-		run(sc)
+		run(sc, opts, *tracePath, *metricsOut, stopProf)
 
 	case *gen >= 0:
-		run(chaos.GenScenario(*seed, *gen))
+		opts.Index = *gen
+		run(chaos.GenScenario(*seed, *gen), opts, *tracePath, *metricsOut, stopProf)
 
 	case *soak > 0:
 		parallel.SetWorkers(*workers)
-		res := chaos.Soak(*seed, *soak)
+		res := chaos.SoakArtifacts(*seed, *soak, *artifacts)
+		finishProfiles(stopProf)
 		fmt.Print(res)
+		for _, r := range res.Failures() {
+			if r.Artifact != "" {
+				fmt.Printf("artifact: %s\n", r.Artifact)
+			}
+		}
 		if len(res.Failures()) > 0 {
 			fmt.Printf("reproduce a failure with: chaos -gen <i> -seed %d\n", *seed)
 			os.Exit(1)
@@ -64,15 +95,36 @@ func main() {
 	}
 }
 
-func run(sc chaos.Scenario) {
+func run(sc chaos.Scenario, opts chaos.RunOpts, tracePath, metricsOut string, stopProf func() error) {
 	fmt.Printf("scenario %s seed=%d rate=%v frame=%dB load=%.2f window=%v steps=%d\n",
 		sc.Name, sc.Seed, sc.Rate, sc.FrameSize, sc.LoadFrac, sc.Window, len(sc.Steps))
 	for _, s := range sc.Steps {
 		fmt.Printf("  step %v\n", s)
 	}
-	r := chaos.RunScenario(sc)
+	r := chaos.RunScenarioOpts(sc, opts)
+	finishProfiles(stopProf)
+	if tracePath != "" {
+		if err := obs.WriteTraceFile(tracePath, r.Trace); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace: %d events -> %s\n", len(r.Trace), tracePath)
+	}
+	if metricsOut != "" {
+		if err := obs.WriteMetricsFile(metricsOut, r.Metrics); err != nil {
+			log.Fatal(err)
+		}
+	}
 	fmt.Println(r)
 	if r.Failed() {
+		if r.Artifact != "" {
+			fmt.Printf("artifact: %s\n", r.Artifact)
+		}
 		os.Exit(1)
+	}
+}
+
+func finishProfiles(stop func() error) {
+	if err := stop(); err != nil {
+		log.Fatal(err)
 	}
 }

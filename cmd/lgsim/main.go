@@ -6,6 +6,12 @@
 //
 //	lgsim [-rate 100G] [-loss 1e-3] [-mode ordered|nb] [-duration 20ms]
 //	      [-frame 1518] [-target 1e-8] [-seed 1]
+//	      [-trace out.json] [-trace-cap 4096] [-metrics-out metrics.json]
+//	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// -trace writes the protected link's trace ring: a ".jsonl" path gets one
+// JSON object per line; any other extension gets the Chrome trace_event
+// format that Perfetto loads directly.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 
 	"linkguardian/internal/core"
 	"linkguardian/internal/experiments"
+	"linkguardian/internal/obs"
 	"linkguardian/internal/simtime"
 )
 
@@ -28,6 +35,11 @@ func main() {
 	frame := flag.Int("frame", 1518, "stress-test frame size in bytes")
 	target := flag.Float64("target", 1e-8, "operator target loss rate (Equation 2)")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	tracePath := flag.String("trace", "", "write the protected link's trace (.jsonl = JSONL, else Chrome trace_event)")
+	traceCap := flag.Int("trace-cap", 4096, "trace ring capacity (most recent events kept)")
+	metricsOut := flag.String("metrics-out", "", "write the run's metrics snapshot as JSON")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile")
+	memprofile := flag.String("memprofile", "", "write a heap profile")
 	flag.Parse()
 
 	rate, err := parseRate(*rateStr)
@@ -39,11 +51,34 @@ func main() {
 		mode = core.NonBlocking
 	}
 
+	stopProf, err := obs.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	opts := experiments.StressOpts{Duration: simtime.Duration(*duration), FrameSize: *frame, Seed: *seed}
+	if *tracePath != "" {
+		opts.TraceCap = *traceCap
+	}
 	cfg := core.NewConfig(rate, *loss)
 	cfg.Mode = mode
 	cfg.TargetLossRate = *target
 	res := experiments.RunStressConfig(cfg, rate, *loss, opts)
+
+	if err := stopProf(); err != nil {
+		log.Fatal(err)
+	}
+	if *tracePath != "" {
+		if err := obs.WriteTraceFile(*tracePath, res.Trace); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace           : %d events -> %s\n", len(res.Trace), *tracePath)
+	}
+	if *metricsOut != "" {
+		if err := obs.WriteMetricsFile(*metricsOut, res.Metrics); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	fmt.Printf("link            : %v, %v mode, loss %.0e (target %.0e)\n", rate, mode, *loss, *target)
 	fmt.Printf("retx copies (N) : %d (Equation 2)\n", res.Copies)

@@ -5,6 +5,8 @@
 // Usage:
 //
 //	paper [-only fig8,table3,...] [-scale 0.1] [-workers 0]
+//	      [-metrics-out metrics.json] [-trace trace.json]
+//	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Experiment ids: fig1 fig2 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15
 // fig16 fig19 fig20 fig21 table1 table2 table3 table4, plus the extension
@@ -23,6 +25,7 @@ import (
 
 	"linkguardian/internal/core"
 	"linkguardian/internal/experiments"
+	"linkguardian/internal/obs"
 	"linkguardian/internal/parallel"
 	"linkguardian/internal/simtime"
 	"linkguardian/internal/workload"
@@ -32,8 +35,18 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	scale := flag.Float64("scale", 1.0, "scale factor for trial counts and durations")
 	workers := flag.Int("workers", 0, "parallel worker count (0 = all cores); results are identical at any setting")
+	metricsOut := flag.String("metrics-out", "", "write the Figure 8 grid's merged metrics snapshot as JSON (runs the grid if not selected); byte-identical at any -workers")
+	tracePath := flag.String("trace", "", "write the canonical stress cell's link trace (.jsonl = JSONL, else Chrome trace_event)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile")
+	memprofile := flag.String("memprofile", "", "write a heap profile")
 	flag.Parse()
 	parallel.SetWorkers(*workers)
+
+	stopProf, err := obs.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -52,8 +65,9 @@ func main() {
 	if run("table1") {
 		table1()
 	}
-	if run("fig8") || run("fig14") || run("fig19") || run("table4") {
-		figure8Family(*scale, run)
+	var fig8 []experiments.StressResult
+	if run("fig8") || run("fig14") || run("fig19") || run("table4") || *metricsOut != "" {
+		fig8 = figure8Family(*scale, run)
 	}
 	if run("fig9") {
 		figure9()
@@ -94,6 +108,33 @@ func main() {
 	}
 	if want["workload"] {
 		workloadFCT(*scale)
+	}
+
+	if *metricsOut != "" {
+		// Merge the grid's per-cell snapshots in row-major cell order — the
+		// same left-fold at any worker count, so the file is byte-identical.
+		snaps := make([]obs.Snapshot, len(fig8))
+		for i, r := range fig8 {
+			snaps[i] = r.Metrics
+		}
+		if err := obs.WriteMetricsFile(*metricsOut, obs.MergeSnapshots(snaps...)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *tracePath != "" {
+		// The canonical trace cell: 100G, 1e-3 loss, Ordered mode.
+		o := experiments.DefaultStressOpts()
+		o.TraceCap = 4096
+		res := experiments.RunStress(simtime.Rate100G, 1e-3, core.Ordered, o)
+		if err := obs.WriteTraceFile(*tracePath, res.Trace); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }
 
@@ -184,7 +225,7 @@ func table1() {
 	}
 }
 
-func figure8Family(scale float64, run func(string) bool) {
+func figure8Family(scale float64, run func(string) bool) []experiments.StressResult {
 	header("Figure 8: effective loss rate and effective link speed (stress test)")
 	opts := experiments.DefaultStressOpts()
 	opts.Duration = simtime.Duration(float64(opts.Duration) * scale)
@@ -216,6 +257,7 @@ func figure8Family(scale float64, run func(string) bool) {
 				r.Rate, r.LossRate, r.Mode, r.RecircTx*100, r.RecircRx*100)
 		}
 	}
+	return results
 }
 
 func kb(s interface{ String() string }) string { return s.String() }

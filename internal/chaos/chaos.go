@@ -17,6 +17,7 @@ import (
 
 	"linkguardian/internal/core"
 	"linkguardian/internal/experiments"
+	"linkguardian/internal/obs"
 	"linkguardian/internal/simnet"
 	"linkguardian/internal/simtime"
 )
@@ -123,6 +124,19 @@ type Report struct {
 	Quiesced    bool   // recovery state fully drained before the deadline
 
 	Violations []Violation
+
+	// Artifact is the flight-recorder directory written for a failed run
+	// (empty when the run passed or artifacts were not enabled). It is
+	// excluded from String() — paths hold no protocol state, and the soak
+	// compares report strings byte-for-byte across worker counts.
+	Artifact string
+
+	// Metrics is the run's final obs snapshot (always populated). Trace is
+	// the protected link's trace-ring tail, populated only under
+	// RunOpts.KeepTrace — a soak holding rings for hundreds of scenarios
+	// would dwarf the reports themselves. Neither appears in String().
+	Metrics obs.Snapshot
+	Trace   []simnet.TraceEvent
 }
 
 // Failed reports whether any invariant fired.
@@ -155,8 +169,33 @@ const (
 	quiesceRounds = 400
 )
 
+// RunOpts configures the observability side of a scenario run; the zero
+// value runs without artifacts (RunScenario).
+type RunOpts struct {
+	// ArtifactDir, when non-empty, arms the flight recorder: a failed run
+	// dumps its trace tail, metrics snapshot, and violation summary into a
+	// subdirectory keyed by scenario name, Index, and seed.
+	ArtifactDir string
+
+	// TraceCap sizes the protected link's trace ring (default 2048 events).
+	TraceCap int
+
+	// Index distinguishes generated scenarios sharing a name (the soak's
+	// scenario counter); < 0 omits it from the artifact path.
+	Index int
+
+	// KeepTrace copies the trace ring into Report.Trace at the end of the
+	// run (cmd/chaos -trace).
+	KeepTrace bool
+}
+
 // RunScenario executes one scenario and returns its invariant report.
 func RunScenario(sc Scenario) *Report {
+	return RunScenarioOpts(sc, RunOpts{Index: -1})
+}
+
+// RunScenarioOpts is RunScenario with flight-recorder wiring.
+func RunScenarioOpts(sc Scenario, opts RunOpts) *Report {
 	cfg := core.NewConfig(sc.Rate, sc.provisionLoss())
 	cfg.Mode = sc.Mode
 	if sc.CtrlCopies > 0 {
@@ -177,6 +216,56 @@ func RunScenario(sc Scenario) *Report {
 	tb.Link.FaultFn = eng.verdict
 
 	chk := Watch(tb.Sim, tb.Link, rig.Protected, tb.LG, 5*simtime.Microsecond)
+
+	// Flight recorder: a trace ring on the protected link plus a metrics
+	// registry, dumped to an artifact directory if the run fails. The ring
+	// and registry are cheap enough to keep live even when artifacts are
+	// off — they feed the event-queue diagnostics hook either way.
+	traceCap := opts.TraceCap
+	if traceCap <= 0 {
+		traceCap = 2048
+	}
+	tracer := simnet.NewTracer(traceCap)
+	tracer.Tap(tb.Sim, tb.Link)
+	// A second, data-only ring: under a long drain the full ring rotates to
+	// pure control frames (self-replenishing ACK traffic), so the frames a
+	// liveness violation names would be gone from it.
+	dataRing := simnet.NewTracer(traceCap)
+	dataRing.TapIf(tb.Sim, tb.Link, func(e simnet.TraceEvent) bool {
+		return e.Kind == simnet.KindData && e.HasLG && !e.Dummy
+	})
+	reg := obs.NewRegistry()
+	tb.LG.M.Register(reg, "lg")
+	obs.RegisterLink(reg, "link", tb.Link)
+	fr := &obs.FlightRecorder{
+		Dir:      opts.ArtifactDir,
+		Scenario: sc.Name,
+		Index:    opts.Index,
+		Seed:     sc.Seed,
+		Tracer:   tracer,
+		Registry: reg,
+	}
+	frData := &obs.FlightRecorder{
+		Dir:      opts.ArtifactDir,
+		Scenario: sc.Name,
+		Index:    opts.Index,
+		Seed:     sc.Seed,
+		Tracer:   dataRing,
+	}
+	if opts.ArtifactDir != "" {
+		// Snapshot both rings at the instant each rule first fires, while
+		// the offending frames are still in them; the end-of-run dump only
+		// has the tail of the drain phase.
+		chk.OnViolation = func(v Violation) {
+			fr.Note("violation."+v.Rule, v.Detail)
+			_ = fr.SnapshotTrace("trace-" + v.Rule + ".jsonl")
+			_ = frData.SnapshotTrace("trace-" + v.Rule + "-data.jsonl")
+		}
+		tb.Sim.Q.OnBudgetExceeded = func(diag string) {
+			fr.Note("eventq", diag)
+			_, _ = fr.Dump("event-queue drain budget exceeded")
+		}
+	}
 
 	tb.LG.Enable()
 	if sc.SeqStart != 0 || sc.SeqEra != 0 {
@@ -231,9 +320,22 @@ func RunScenario(sc Scenario) *Report {
 		Quiesced:    quiesced,
 	}
 	if !quiesced {
-		chk.flag(RuleLiveness, "recovery state failed to quiesce within %v after traffic stopped (missing=%d, rxHeld=%d, txBuf=%d)",
-			quiesceRounds*quiesceRound, tb.LG.MissingCount(), tb.LG.RxHeldBytes(), tb.LG.OutstandingTx())
+		chk.flag(RuleLiveness, "recovery state failed to quiesce within %v after traffic stopped (missing=%d, rxHeld=%d, txBuf=%d); e.g. undelivered seqs %v",
+			quiesceRounds*quiesceRound, tb.LG.MissingCount(), tb.LG.RxHeldBytes(), tb.LG.OutstandingTx(), chk.sampleOutstanding(5))
 	}
 	r.Violations = chk.Finish(r.InEnvelope, sc.provisionLoss())
+	reg.Sample()
+	r.Metrics = reg.Snapshot()
+	if opts.KeepTrace {
+		r.Trace = tracer.Events()
+	}
+	if r.Failed() && opts.ArtifactDir != "" {
+		for _, v := range r.Violations {
+			fr.Note("violation."+v.Rule, v.Detail)
+		}
+		if dir, err := fr.Dump(fmt.Sprintf("%d invariant violation(s)", len(r.Violations))); err == nil {
+			r.Artifact = dir
+		}
+	}
 	return r
 }

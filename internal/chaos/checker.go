@@ -80,6 +80,11 @@ type Checker struct {
 
 	byRule     map[string]*Violation
 	violations []*Violation
+
+	// OnViolation, if set, is called at the first firing of each rule —
+	// the flight recorder's hook for snapshotting the trace ring while the
+	// offending packets are still in it.
+	OnViolation func(Violation)
 }
 
 // Watch attaches a checker to the instance protecting the direction
@@ -120,6 +125,9 @@ func (c *Checker) flag(rule, detail string, args ...any) {
 	v := &Violation{Rule: rule, At: c.sim.Now(), Count: 1, Detail: fmt.Sprintf(detail, args...)}
 	c.byRule[rule] = v
 	c.violations = append(c.violations, v)
+	if c.OnViolation != nil {
+		c.OnViolation(*v)
+	}
 }
 
 // onWire observes every frame put on the wire in the protected direction,

@@ -1,0 +1,144 @@
+package chaos
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"linkguardian/internal/obs"
+)
+
+// A deliberately broken protocol (tail-loss detection ablated under a tail
+// blackout) must leave a complete flight-recorder artifact: the violation
+// reason, the trace tail in both formats, a parseable metrics snapshot, and
+// a per-rule trace snapshot that contains the packet sequence the liveness
+// invariant names. This is the regression proof that a soak failure is
+// debuggable from disk alone.
+func TestFlightRecorderArtifactOnFailure(t *testing.T) {
+	dir := t.TempDir()
+	sc := tailBlackout(5)
+	sc.DisableTailLoss = true
+	r := RunScenarioOpts(sc, RunOpts{ArtifactDir: dir, Index: 3, KeepTrace: true})
+	if !r.Failed() {
+		t.Fatalf("ablated scenario did not fail:\n%v", r)
+	}
+	if r.Artifact == "" {
+		t.Fatal("failed run with ArtifactDir set left no artifact path")
+	}
+	if filepath.Dir(r.Artifact) != dir {
+		t.Fatalf("artifact %q not under %q", r.Artifact, dir)
+	}
+	if base := filepath.Base(r.Artifact); !strings.Contains(base, "0003") || !strings.Contains(base, "seed5") {
+		t.Fatalf("artifact dir %q not keyed by index and seed", base)
+	}
+
+	for _, f := range []string{"REASON.txt", "trace.jsonl", "trace.chrome.json", "metrics.json"} {
+		if _, err := os.Stat(filepath.Join(r.Artifact, f)); err != nil {
+			t.Fatalf("artifact missing %s: %v", f, err)
+		}
+	}
+
+	reason, err := os.ReadFile(filepath.Join(r.Artifact, "REASON.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(reason), "violation."+RuleLiveness) {
+		t.Fatalf("REASON.txt does not record the liveness violation:\n%s", reason)
+	}
+
+	mb, err := os.ReadFile(filepath.Join(r.Artifact, "metrics.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(mb, &snap); err != nil {
+		t.Fatalf("metrics.json does not parse: %v", err)
+	}
+	if snap.Counter("lg.protected") == 0 {
+		t.Fatalf("metrics.json has no protected-packet count: %+v", snap.Counters[:3])
+	}
+
+	// The liveness detail names undelivered seqNos ("e.g. seqs [era:n ...]");
+	// the trace snapshotted at the violation must contain those very packets.
+	var detail string
+	for _, v := range r.Violations {
+		if v.Rule == RuleLiveness {
+			detail = v.Detail
+		}
+	}
+	if detail == "" {
+		t.Fatalf("no liveness violation in:\n%v", r)
+	}
+	seqs := regexp.MustCompile(`\d+:\d+`).FindAllString(detail, -1)
+	if len(seqs) == 0 {
+		t.Fatalf("liveness detail names no seqNos: %q", detail)
+	}
+	if _, err := os.Stat(filepath.Join(r.Artifact, "trace-"+RuleLiveness+".jsonl")); err != nil {
+		t.Fatalf("no per-rule trace snapshot: %v", err)
+	}
+	vt, err := os.ReadFile(filepath.Join(r.Artifact, "trace-"+RuleLiveness+"-data.jsonl"))
+	if err != nil {
+		t.Fatalf("no per-rule data-trace snapshot: %v", err)
+	}
+	found := false
+	for _, s := range seqs {
+		if strings.Contains(string(vt), `"seq":"`+s+`"`) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("violation trace identifies none of the failing seqs %v", seqs)
+	}
+}
+
+// A passing run must not write artifacts, and the trace/metrics ride on the
+// report only when asked for.
+func TestNoArtifactOnPass(t *testing.T) {
+	dir := t.TempDir()
+	sc := tailBlackout(5) // mechanism intact: recovers cleanly
+	r := RunScenarioOpts(sc, RunOpts{ArtifactDir: dir, Index: 0, KeepTrace: true})
+	if r.Failed() {
+		t.Fatalf("intact scenario failed:\n%v", r)
+	}
+	if r.Artifact != "" {
+		t.Fatalf("passing run produced artifact %q", r.Artifact)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("artifact root not empty after a passing run: %v", entries)
+	}
+	if len(r.Trace) == 0 {
+		t.Fatal("KeepTrace did not populate Report.Trace")
+	}
+	if r.Metrics.Counter("lg.protected") == 0 {
+		t.Fatal("Report.Metrics not populated")
+	}
+
+	r2 := RunScenario(sc)
+	if len(r2.Trace) != 0 {
+		t.Fatal("plain RunScenario must not retain the trace ring")
+	}
+}
+
+// The artifact path must never leak into the report text — the soak compares
+// report strings byte-for-byte across worker counts, and temp dirs differ.
+func TestArtifactExcludedFromReportString(t *testing.T) {
+	dir := t.TempDir()
+	sc := tailBlackout(5)
+	sc.DisableTailLoss = true
+	with := RunScenarioOpts(sc, RunOpts{ArtifactDir: dir, Index: -1})
+	without := RunScenario(sc)
+	if with.Artifact == "" {
+		t.Fatal("expected an artifact")
+	}
+	if with.String() != without.String() {
+		t.Fatalf("report text depends on artifact wiring:\n%s\nvs\n%s", with, without)
+	}
+}

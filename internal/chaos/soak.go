@@ -45,10 +45,19 @@ func (s *SoakResult) String() string {
 // seeded by parallel.SeedFor(master, i); results merge in index order, so
 // the sweep is bit-identical at any worker count.
 func Soak(master int64, n int) *SoakResult {
+	return SoakArtifacts(master, n, "")
+}
+
+// SoakArtifacts is Soak with the flight recorder armed: every failing
+// scenario dumps an artifact directory under dir, keyed by its scenario
+// index and seed. An empty dir disables artifacts (plain Soak). Artifact
+// paths live outside Report.String(), so the determinism contract of the
+// report text is unaffected.
+func SoakArtifacts(master int64, n int, dir string) *SoakResult {
 	return &SoakResult{
 		Master: master,
 		Reports: parallel.Map(n, func(i int) *Report {
-			return RunScenario(GenScenario(master, i))
+			return RunScenarioOpts(GenScenario(master, i), RunOpts{ArtifactDir: dir, Index: i})
 		}),
 	}
 }

@@ -153,12 +153,12 @@ func TestSingleLossRecoveredInOrder(t *testing.T) {
 	if m.Timeouts != 0 {
 		t.Fatalf("unexpected timeout")
 	}
-	if len(m.RetxDelays) != 1 {
-		t.Fatalf("retx delay samples = %d, want 1", len(m.RetxDelays))
+	if m.RetxDelays.N() != 1 {
+		t.Fatalf("retx delay samples = %d, want 1", m.RetxDelays.N())
 	}
 	// Retransmission delay should be microseconds (recirculation + queues),
 	// well under the ackNoTimeout (Appendix B.1).
-	d := m.RetxDelays[0]
+	d := m.RetxDelays.Samples()[0]
 	if d < simtime.Microsecond || d > cfg.AckNoTimeout {
 		t.Fatalf("retx delay %v outside (1µs, %v)", d, cfg.AckNoTimeout)
 	}
@@ -183,8 +183,8 @@ func TestTailLossRecoveredViaDummy(t *testing.T) {
 	if m.Timeouts != 0 {
 		t.Fatal("tail loss should be recovered without a timeout")
 	}
-	if len(m.RetxDelays) != 1 || m.RetxDelays[0] > 10*simtime.Microsecond {
-		t.Fatalf("tail recovery delay %v, want sub-RTT µs scale", m.RetxDelays)
+	if m.RetxDelays.N() != 1 || m.RetxDelays.Samples()[0] > 10*simtime.Microsecond {
+		t.Fatalf("tail recovery delay %v, want sub-RTT µs scale", m.RetxDelays.Samples())
 	}
 }
 

@@ -1,6 +1,9 @@
 package core
 
-import "linkguardian/internal/simtime"
+import (
+	"linkguardian/internal/obs"
+	"linkguardian/internal/simtime"
+)
 
 // Metrics exposes the instrumentation the paper's evaluation reads: buffer
 // occupancy (Figure 14), retransmission delays (Figure 19), ackNoTimeout
@@ -36,8 +39,10 @@ type Metrics struct {
 	AcksPiggybacked uint64
 
 	// RetxDelays samples the receiver-observed delay from loss detection
-	// to successful receipt of the retransmission (Figure 19).
-	RetxDelays []simtime.Duration
+	// to successful receipt of the retransmission (Figure 19). It is a
+	// bounded histogram-plus-reservoir rather than a raw slice, so memory
+	// stays fixed on multi-hour soaks.
+	RetxDelays obs.DelaySample
 }
 
 // RecircOverhead returns sender- and receiver-side recirculation overheads
@@ -50,4 +55,46 @@ func (m *Metrics) RecircOverhead(window simtime.Duration, capacityPps float64) (
 	secs := window.Seconds()
 	return float64(m.SenderLoops) / secs / capacityPps,
 		float64(m.ReceiverLoops) / secs / capacityPps
+}
+
+// Register exposes every metric under the given prefix in an obs registry.
+// Counters and gauges are function-backed (read at snapshot time, zero
+// hot-path cost); the retransmission-delay histogram is adopted directly.
+func (m *Metrics) Register(r *obs.Registry, prefix string) {
+	p := func(name string) string { return prefix + "." + name }
+	counters := []struct {
+		name string
+		v    *uint64
+	}{
+		{"protected", &m.Protected},
+		{"retransmits", &m.Retransmits},
+		{"retx_copies", &m.RetxCopies},
+		{"dummies_sent", &m.DummiesSent},
+		{"tx_buf_drops", &m.TxBufDrops},
+		{"sender_loops", &m.SenderLoops},
+		{"acks_received", &m.AcksReceived},
+		{"delivered", &m.Delivered},
+		{"duplicates", &m.Duplicates},
+		{"loss_events", &m.LossEvents},
+		{"lost_packets", &m.LostPackets},
+		{"tail_detections", &m.TailDetections},
+		{"timeouts", &m.Timeouts},
+		{"unrecovered", &m.Unrecovered},
+		{"rx_buf_overflows", &m.RxBufOverflows},
+		{"receiver_loops", &m.ReceiverLoops},
+		{"pauses", &m.Pauses},
+		{"resumes", &m.Resumes},
+		{"pause_refreshes", &m.PauseRefreshes},
+		{"acks_sent", &m.AcksSent},
+		{"acks_piggybacked", &m.AcksPiggybacked},
+	}
+	for _, c := range counters {
+		v := c.v
+		r.CounterFunc(p(c.name), func() uint64 { return *v })
+	}
+	r.GaugeFunc(p("tx_buf_bytes"), func() float64 { return float64(m.TxBufBytes) })
+	r.GaugeFunc(p("tx_buf_peak"), func() float64 { return float64(m.TxBufPeak) })
+	r.GaugeFunc(p("rx_buf_bytes"), func() float64 { return float64(m.RxBufBytes) })
+	r.GaugeFunc(p("rx_buf_peak"), func() float64 { return float64(m.RxBufPeak) })
+	r.AddHistogram(p("retx_delay_us"), m.RetxDelays.Hist())
 }

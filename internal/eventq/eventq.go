@@ -63,6 +63,11 @@ type Queue struct {
 	nexts  uint64
 	nfired uint64
 	live   int // scheduled and neither canceled nor fired
+
+	// OnBudgetExceeded, if set, observes the queue diagnostics just before
+	// Drain panics on budget exhaustion — the flight-recorder hook, letting
+	// a run dump its trace ring and metrics snapshot before dying.
+	OnBudgetExceeded func(diag string)
 }
 
 // Now returns the current simulated time in nanoseconds: the firing time of
@@ -173,12 +178,21 @@ func (q *Queue) Drain(maxEvents int64) {
 	for q.Step() {
 		n++
 		if maxEvents > 0 && n > maxEvents {
+			diag := q.diagnose(5)
+			if q.OnBudgetExceeded != nil {
+				q.OnBudgetExceeded(diag)
+			}
 			panic(fmt.Sprintf(
 				"eventq: event budget %d exceeded; simulation is likely not quiescing (%s)",
-				maxEvents, q.diagnose(5)))
+				maxEvents, diag))
 		}
 	}
 }
+
+// Diagnostics returns the Drain-panic queue summary — current time, live
+// event count, the earliest k deadlines — for callers assembling their own
+// failure artifacts.
+func (q *Queue) Diagnostics(k int) string { return q.diagnose(k) }
 
 // diagnose summarizes queue state for the Drain panic: the current time,
 // how many live events are pending, and the earliest k deadlines.

@@ -367,3 +367,40 @@ func TestStableOrderProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// The budget-exceeded hook must observe the same diagnostics the panic
+// carries, before the panic unwinds — it is the flight recorder's last
+// chance to dump state from a non-quiescing simulation.
+func TestOnBudgetExceededHook(t *testing.T) {
+	var q Queue
+	var bomb func()
+	bomb = func() { q.After(3, bomb) }
+	q.After(3, bomb)
+	var hooked string
+	q.OnBudgetExceeded = func(diag string) { hooked = diag }
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("budget not tripped")
+		}
+		if hooked == "" {
+			t.Fatal("OnBudgetExceeded not called before the panic")
+		}
+		if msg := r.(string); !strings.Contains(msg, hooked) {
+			t.Fatalf("hook diagnostics %q not embedded in panic %q", hooked, msg)
+		}
+	}()
+	q.Drain(5)
+}
+
+func TestDiagnosticsExported(t *testing.T) {
+	var q Queue
+	q.Schedule(10, func() {})
+	q.Schedule(20, func() {})
+	d := q.Diagnostics(5)
+	for _, want := range []string{"2 live events", "next deadlines (ns): [10 20]"} {
+		if !strings.Contains(d, want) {
+			t.Fatalf("Diagnostics = %q, missing %q", d, want)
+		}
+	}
+}

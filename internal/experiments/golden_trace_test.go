@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"linkguardian/internal/core"
+	"linkguardian/internal/obs"
+	"linkguardian/internal/simtime"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenStress is the canonical loss scenario behind the golden trace: a
+// short 25G stress run at 1e-3 loss with a small trace ring. Everything is
+// a pure function of the seed, so the exported JSONL must be byte-identical
+// run to run, machine to machine — any diff is a behavior change in the
+// simulator, the protocol, or the exporter, and must be reviewed (rerun
+// with -update to accept it).
+func goldenStress() StressResult {
+	opts := StressOpts{
+		Duration:  2 * simtime.Millisecond,
+		FrameSize: 1518,
+		Seed:      7,
+		TraceCap:  256,
+	}
+	return RunStress(simtime.Rate25G, 1e-3, core.Ordered, opts)
+}
+
+func TestGoldenTrace(t *testing.T) {
+	res := goldenStress()
+	if len(res.Trace) == 0 {
+		t.Fatal("canonical scenario produced no trace events")
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteTraceJSONL(&buf, res.Trace); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "golden_trace.jsonl")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s (%d events)", golden, len(res.Trace))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (generate with: go test ./internal/experiments -run GoldenTrace -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		got := buf.Bytes()
+		// Locate the first differing line for a readable failure.
+		gl, wl := bytes.Split(got, []byte("\n")), bytes.Split(want, []byte("\n"))
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if !bytes.Equal(gl[i], wl[i]) {
+				t.Fatalf("trace diverges from golden at line %d:\n got: %s\nwant: %s\n(rerun with -update to accept)", i+1, gl[i], wl[i])
+			}
+		}
+		t.Fatalf("trace length changed: %d vs %d golden lines (rerun with -update to accept)", len(gl), len(wl))
+	}
+}
+
+// The golden trace must also load as a Chrome trace without error — the
+// Perfetto export path shares the event flattening.
+func TestGoldenTraceChromeExport(t *testing.T) {
+	res := goldenStress()
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, res.Trace); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), []byte(`{"traceEvents":[`)) {
+		t.Fatalf("unexpected Chrome trace framing: %.40s", buf.String())
+	}
+}

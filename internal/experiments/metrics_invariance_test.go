@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"linkguardian/internal/core"
+	"linkguardian/internal/obs"
+	"linkguardian/internal/parallel"
+	"linkguardian/internal/simtime"
+)
+
+// The merged metrics snapshot of a sharded experiment grid must be
+// byte-identical at any worker count: each cell is an independent sim, and
+// the merge is a left fold in cell order. This is the obs-layer extension of
+// the repository's determinism contract (cmd/paper -metrics-out).
+func TestFigure8MetricsWorkerInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run grid")
+	}
+	opts := DefaultStressOpts()
+	opts.Duration = 2 * simtime.Millisecond
+
+	runAt := func(workers int) []byte {
+		parallel.SetWorkers(workers)
+		defer parallel.SetWorkers(0)
+		results := Figure8(opts)
+		snaps := make([]obs.Snapshot, len(results))
+		for i, r := range results {
+			snaps[i] = r.Metrics
+		}
+		var buf bytes.Buffer
+		if err := obs.MergeSnapshots(snaps...).WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	b1 := runAt(1)
+	b4 := runAt(4)
+	if !bytes.Equal(b1, b4) {
+		l1, l4 := bytes.Split(b1, []byte("\n")), bytes.Split(b4, []byte("\n"))
+		for i := 0; i < len(l1) && i < len(l4); i++ {
+			if !bytes.Equal(l1[i], l4[i]) {
+				t.Fatalf("merged metrics differ between workers=1 and workers=4 at line %d:\n %s\n %s", i+1, l1[i], l4[i])
+			}
+		}
+		t.Fatal("merged metrics differ in length between worker counts")
+	}
+	if len(b1) == 0 {
+		t.Fatal("empty merged snapshot")
+	}
+}
+
+// Per-cell snapshots must carry the protocol counters — the registry is
+// wired into every stress run, not only when a flag asks for it.
+func TestStressResultCarriesMetrics(t *testing.T) {
+	opts := DefaultStressOpts()
+	opts.Duration = simtime.Millisecond
+	res := RunStress(simtime.Rate25G, 1e-3, core.Ordered, opts)
+	if res.Metrics.Counter("lg.protected") == 0 {
+		t.Fatalf("no protected-packet count in snapshot: %+v", res.Metrics.Counters[:3])
+	}
+	if _, ok := res.Metrics.Histogram("lg.retx_delay_us"); !ok {
+		t.Fatal("retx-delay histogram not registered")
+	}
+	if res.Metrics.Counter("link.sw2->sw6.port.tx_frames") == 0 {
+		names := make([]string, 0, len(res.Metrics.Counters))
+		for _, c := range res.Metrics.Counters {
+			names = append(names, c.Name)
+		}
+		t.Fatalf("no protected-direction tx counter; series: %v", names)
+	}
+	if res.Metrics.Counter("link.sw6->sw2.in.rx_all") == 0 {
+		t.Fatal("reverse-direction MAC counters not registered")
+	}
+}

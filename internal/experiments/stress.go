@@ -5,7 +5,9 @@ import (
 	"math"
 
 	"linkguardian/internal/core"
+	"linkguardian/internal/obs"
 	"linkguardian/internal/parallel"
+	"linkguardian/internal/simnet"
 	"linkguardian/internal/simtime"
 	"linkguardian/internal/stats"
 )
@@ -37,6 +39,16 @@ type StressResult struct {
 
 	// Figure 19 (µs).
 	RetxDelays *stats.Dist
+
+	// Metrics is the run's full obs snapshot: protocol counters, port and
+	// MAC counters of both protected-link directions, and the retx-delay
+	// histogram. Snapshots from a sharded grid merge deterministically in
+	// cell order (cmd/paper -metrics-out).
+	Metrics obs.Snapshot
+
+	// Trace holds the protected link's trace-ring contents when
+	// StressOpts.TraceCap > 0 (the -trace flag of cmd/lgsim and cmd/paper).
+	Trace []simnet.TraceEvent
 }
 
 // StressOpts scales the experiment.
@@ -44,6 +56,10 @@ type StressOpts struct {
 	Duration  simtime.Duration // steady-state measurement window
 	FrameSize int              // MTU-sized frames (1518B in the paper)
 	Seed      int64
+
+	// TraceCap, if positive, taps the protected link with a trace ring of
+	// that capacity and returns its contents in StressResult.Trace.
+	TraceCap int
 }
 
 // DefaultStressOpts runs a 20ms window — scaled down from the paper's
@@ -68,6 +84,15 @@ func RunStressConfig(cfg core.Config, rate simtime.Rate, lossRate float64, opts 
 	rxPkts, rxBytes := tb.CountReceived()
 	tb.LG.Enable()
 
+	reg := obs.NewRegistry()
+	tb.LG.M.Register(reg, "lg")
+	obs.RegisterLink(reg, "link", tb.Link)
+	var tracer *simnet.Tracer
+	if opts.TraceCap > 0 {
+		tracer = simnet.NewTracer(opts.TraceCap)
+		tracer.Tap(tb.Sim, tb.Link)
+	}
+
 	gen := tb.StartGenerator(opts.FrameSize)
 
 	// Warm up, then measure delivered rate over the window while sampling
@@ -84,6 +109,7 @@ func RunStressConfig(cfg core.Config, rate simtime.Rate, lossRate float64, opts 
 	tb.Sim.Every(sampleEvery, func() bool {
 		txSamples = append(txSamples, float64(tb.LG.M.TxBufBytes))
 		rxSamples = append(rxSamples, float64(tb.LG.M.RxBufBytes))
+		reg.Sample()
 		return gen.Sent() > 0 && tb.Sim.Now().Sub(startAt) < opts.Duration
 	})
 	tb.Sim.RunFor(opts.Duration)
@@ -104,11 +130,18 @@ func RunStressConfig(cfg core.Config, rate simtime.Rate, lossRate float64, opts 
 	wireFactor := float64(simtime.WireBytes(opts.FrameSize)) / float64(opts.FrameSize)
 	effSpeed := deliveredBits * wireFactor / elapsed.Seconds() / float64(rate)
 
-	delays := make([]float64, len(m.RetxDelays))
-	for i, d := range m.RetxDelays {
+	retained := m.RetxDelays.Samples()
+	delays := make([]float64, len(retained))
+	for i, d := range retained {
 		delays[i] = d.Seconds() * 1e6
 	}
 	recTx, recRx := m.RecircOverhead(elapsed+opts.Duration/10, cfg.PipelineCapacityPps)
+
+	reg.Sample()
+	var traceEvents []simnet.TraceEvent
+	if tracer != nil {
+		traceEvents = tracer.Events()
+	}
 
 	n := tb.LG.Copies()
 	return StressResult{
@@ -127,6 +160,8 @@ func RunStressConfig(cfg core.Config, rate simtime.Rate, lossRate float64, opts 
 		RecircTx:        recTx,
 		RecircRx:        recRx,
 		RetxDelays:      stats.NewDist(delays),
+		Metrics:         reg.Snapshot(),
+		Trace:           traceEvents,
 	}
 }
 

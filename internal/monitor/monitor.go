@@ -12,6 +12,7 @@ package monitor
 
 import (
 	"linkguardian/internal/core"
+	"linkguardian/internal/obs"
 	"linkguardian/internal/simnet"
 	"linkguardian/internal/simtime"
 )
@@ -73,9 +74,10 @@ type Daemon struct {
 }
 
 type watchRow struct {
-	ifc   *simnet.Ifc
-	hist  []counterSnap // ring of per-poll snapshots spanning the window
-	fired bool          // already notified for the current episode
+	ifc      *simnet.Ifc
+	hist     []counterSnap // ring of per-poll snapshots spanning the window
+	fired    bool          // already notified for the current episode
+	lastLoss float64       // loss rate over the window at the latest poll
 }
 
 type counterSnap struct{ all, bad uint64 }
@@ -123,6 +125,7 @@ func (d *Daemon) poll() {
 			continue
 		}
 		loss := float64(dBad) / float64(dAll)
+		row.lastLoss = loss
 		if loss >= d.cfg.Threshold && !row.fired {
 			row.fired = true
 			d.Notified++
@@ -137,6 +140,18 @@ func (d *Daemon) poll() {
 			row.fired = false // healthy again; re-arm
 		}
 	}
+}
+
+// Register exposes the daemon's moving-window loss-rate estimates — one
+// gauge per watched interface, named by the interface — plus the published
+// notification count under the given prefix. The gauges are function-backed
+// reads of the latest poll, so registration adds nothing to the poll loop.
+func (d *Daemon) Register(r *obs.Registry, prefix string) {
+	for _, row := range d.rows {
+		row := row
+		r.GaugeFunc(prefix+".loss_rate."+row.ifc.Name, func() float64 { return row.lastLoss })
+	}
+	r.CounterFunc(prefix+".notified", func() uint64 { return uint64(d.Notified) })
 }
 
 // Activator subscribes a switch's LinkGuardian instances to corruption

@@ -1,0 +1,76 @@
+package obs
+
+import "linkguardian/internal/simtime"
+
+// delayReservoirCap bounds the retained samples of a DelaySample. The cap
+// is far above anything a paper experiment produces (a 20ms stress run
+// records a few thousand recoveries) and turns the multi-hour chaos soaks'
+// previously unbounded []Duration growth into a fixed footprint.
+const delayReservoirCap = 4096
+
+// delayBucketsUS are the fixed histogram bounds, in microseconds: the
+// Figure 19 retransmission delays sit in the 1–100µs decade, with the tail
+// buckets catching timeout-path recoveries.
+var delayBucketsUS = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 5000, 10000, 100000}
+
+// DelaySample accumulates a duration stream into a fixed-bucket histogram
+// plus a bounded uniform reservoir sample (Vitter's Algorithm R with a
+// deterministic splitmix64 stream), replacing the unbounded slice that
+// core.Metrics.RetxDelays used to grow on long soaks. The zero value is
+// ready to use. Given the same observation sequence it is fully
+// deterministic — reservoir evictions included — so sharded runs stay
+// bit-identical at any worker count.
+type DelaySample struct {
+	n    uint64
+	kept []simtime.Duration
+	rng  uint64 // splitmix64 state; lazily seeded
+	hist *Histogram
+}
+
+func (s *DelaySample) next() uint64 {
+	if s.rng == 0 {
+		s.rng = 0x9e3779b97f4a7c15
+	}
+	s.rng += 0x9e3779b97f4a7c15
+	z := s.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Observe records one duration.
+func (s *DelaySample) Observe(d simtime.Duration) {
+	if s.hist == nil {
+		s.hist = NewHistogram(delayBucketsUS...)
+	}
+	s.hist.Observe(float64(d) / 1e3) // µs
+	s.n++
+	if len(s.kept) < delayReservoirCap {
+		s.kept = append(s.kept, d)
+		return
+	}
+	if j := s.next() % s.n; j < delayReservoirCap {
+		s.kept[j] = d
+	}
+}
+
+// N returns the total number of observations (not the retained count).
+func (s *DelaySample) N() int { return int(s.n) }
+
+// Samples returns the retained observations. While under the reservoir cap
+// this is every observation in arrival order; past it, a uniform sample.
+func (s *DelaySample) Samples() []simtime.Duration {
+	return append([]simtime.Duration(nil), s.kept...)
+}
+
+// Retained returns how many observations are held in memory (<= cap).
+func (s *DelaySample) Retained() int { return len(s.kept) }
+
+// Hist returns the underlying µs histogram, creating it if no observation
+// has arrived yet — so a registry can adopt it before the first sample.
+func (s *DelaySample) Hist() *Histogram {
+	if s.hist == nil {
+		s.hist = NewHistogram(delayBucketsUS...)
+	}
+	return s.hist
+}

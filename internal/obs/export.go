@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+
+	"linkguardian/internal/simnet"
+)
+
+// WriteTraceFile writes events to path, choosing the format by extension:
+// ".jsonl" writes one JSON object per line (grep/jq-friendly); anything else
+// writes the Chrome trace_event format, which Perfetto and chrome://tracing
+// load directly.
+func WriteTraceFile(path string, events []simnet.TraceEvent) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if filepath.Ext(path) == ".jsonl" {
+		err = WriteTraceJSONL(f, events)
+	} else {
+		err = WriteChromeTrace(f, events)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// WriteMetricsFile writes the snapshot as indented JSON to path.
+func WriteMetricsFile(path string, s Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = s.WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

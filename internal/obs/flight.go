@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"linkguardian/internal/simnet"
+)
+
+// FlightRecorder snapshots a run's observability state — the trace ring's
+// last-N events plus a full metrics snapshot — into an on-disk artifact
+// when something goes wrong, so a chaos-soak failure leaves an inspectable
+// packet history instead of a panic string.
+//
+// The artifact directory is a pure function of (Scenario, Index, Seed), so
+// a sharded soak writes each failing scenario's artifact to the same path
+// at any worker count, and rerunning the failing index reproduces the
+// artifact bit-for-bit.
+type FlightRecorder struct {
+	Dir      string // artifact root; created on demand
+	Scenario string // scenario or run name
+	Index    int    // soak shard index; < 0 when not applicable
+	Seed     int64
+
+	Tracer   *simnet.Tracer
+	Registry *Registry
+
+	// Extra carries free-form diagnostics (eventq state, violation text)
+	// written to REASON.txt in sorted key order.
+	Extra map[string]string
+}
+
+// Note records one extra diagnostic key/value pair.
+func (fr *FlightRecorder) Note(key, value string) {
+	if fr.Extra == nil {
+		fr.Extra = map[string]string{}
+	}
+	fr.Extra[key] = value
+}
+
+// ArtifactDir returns the reproducible artifact path for this run.
+func (fr *FlightRecorder) ArtifactDir() string {
+	name := fr.Scenario
+	if name == "" {
+		name = "run"
+	}
+	name = strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		}
+		return '-'
+	}, name)
+	if fr.Index >= 0 {
+		name = fmt.Sprintf("%s-%04d", name, fr.Index)
+	}
+	return filepath.Join(fr.Dir, fmt.Sprintf("%s-seed%d", name, fr.Seed))
+}
+
+// SnapshotTrace writes the trace ring's current contents to the named file
+// inside the artifact directory — used to pin down the packet history at
+// the instant an invariant fires, before later traffic rotates it out of
+// the ring.
+func (fr *FlightRecorder) SnapshotTrace(name string) error {
+	if fr.Tracer == nil {
+		return nil
+	}
+	dir := fr.ArtifactDir()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return WriteTraceJSONL(f, fr.Tracer.Events())
+}
+
+// Dump writes the full artifact: REASON.txt (the reason plus the Extra
+// diagnostics), trace.jsonl and trace.chrome.json (when a tracer is
+// attached), and metrics.json (when a registry is attached). It returns
+// the artifact directory.
+func (fr *FlightRecorder) Dump(reason string) (string, error) {
+	dir := fr.ArtifactDir()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return dir, err
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario: %s\nseed: %d\n", fr.Scenario, fr.Seed)
+	if fr.Index >= 0 {
+		fmt.Fprintf(&b, "index: %d\n", fr.Index)
+	}
+	fmt.Fprintf(&b, "reason: %s\n", reason)
+	keys := make([]string, 0, len(fr.Extra))
+	for k := range fr.Extra {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s: %s\n", k, fr.Extra[k])
+	}
+	if err := os.WriteFile(filepath.Join(dir, "REASON.txt"), []byte(b.String()), 0o644); err != nil {
+		return dir, err
+	}
+
+	if fr.Tracer != nil {
+		events := fr.Tracer.Events()
+		f, err := os.Create(filepath.Join(dir, "trace.jsonl"))
+		if err != nil {
+			return dir, err
+		}
+		if err := WriteTraceJSONL(f, events); err != nil {
+			f.Close()
+			return dir, err
+		}
+		f.Close()
+		f, err = os.Create(filepath.Join(dir, "trace.chrome.json"))
+		if err != nil {
+			return dir, err
+		}
+		if err := WriteChromeTrace(f, events); err != nil {
+			f.Close()
+			return dir, err
+		}
+		f.Close()
+	}
+
+	if fr.Registry != nil {
+		f, err := os.Create(filepath.Join(dir, "metrics.json"))
+		if err != nil {
+			return dir, err
+		}
+		if err := fr.Registry.Snapshot().WriteJSON(f); err != nil {
+			f.Close()
+			return dir, err
+		}
+		f.Close()
+	}
+	return dir, nil
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestArtifactDirKeying(t *testing.T) {
+	fr := &FlightRecorder{Dir: "/tmp/a", Scenario: "tail blackout/x", Index: 17, Seed: 5}
+	got := fr.ArtifactDir()
+	want := filepath.Join("/tmp/a", "tail-blackout-x-0017-seed5")
+	if got != want {
+		t.Fatalf("ArtifactDir = %q, want %q (sanitized, index- and seed-keyed)", got, want)
+	}
+	fr.Index = -1
+	if got := fr.ArtifactDir(); got != filepath.Join("/tmp/a", "tail-blackout-x-seed5") {
+		t.Fatalf("negative index must omit the index component: %q", got)
+	}
+	fr.Scenario = ""
+	if got := fr.ArtifactDir(); got != filepath.Join("/tmp/a", "run-seed5") {
+		t.Fatalf("empty scenario = %q", got)
+	}
+}
+
+func TestDumpWritesFullArtifact(t *testing.T) {
+	dir := t.TempDir()
+	r := NewRegistry()
+	r.Counter("drops").Add(3)
+	fr := &FlightRecorder{Dir: dir, Scenario: "probe", Index: 2, Seed: 9, Registry: r}
+	fr.Note("zkey", "zval")
+	fr.Note("akey", "aval")
+
+	out, err := fr.Dump("unit test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reason, err := os.ReadFile(filepath.Join(out, "REASON.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(reason)
+	for _, want := range []string{"scenario: probe", "seed: 9", "index: 2", "reason: unit test"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("REASON.txt missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Index(text, "akey: aval") > strings.Index(text, "zkey: zval") {
+		t.Fatalf("extras not in sorted key order:\n%s", text)
+	}
+
+	mb, err := os.ReadFile(filepath.Join(out, "metrics.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(mb, &snap); err != nil {
+		t.Fatalf("metrics.json does not parse: %v", err)
+	}
+	if snap.Counter("drops") != 3 {
+		t.Fatalf("metrics.json lost the counter: %+v", snap)
+	}
+
+	// No tracer attached: no trace files, and that is not an error.
+	if _, err := os.Stat(filepath.Join(out, "trace.jsonl")); !os.IsNotExist(err) {
+		t.Fatalf("unexpected trace.jsonl without a tracer (err=%v)", err)
+	}
+}

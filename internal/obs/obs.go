@@ -1,0 +1,436 @@
+// Package obs is the observability substrate of the reproduction: a typed
+// metrics registry (counters, gauges with high-water marks, fixed-bucket
+// histograms), a structured trace exporter for simnet.Tracer rings (JSONL
+// and Chrome trace_event format, loadable in Perfetto), and a flight
+// recorder that dumps the last-N trace events plus a full metrics snapshot
+// to a reproducible artifact path when an invariant fires.
+//
+// The paper's entire evaluation is read off instrumentation — port counters
+// A–D (Fig. 7), buffer occupancy (Fig. 14), retransmission delay (Fig. 19),
+// recirculation overhead (Table 4) — and this package makes that
+// instrumentation first-class and queryable instead of an ad-hoc field bag.
+//
+// Determinism contract: a Snapshot is a pure value ordered by metric name,
+// and Merge is associative with a fixed left-fold order, so sharded
+// experiment runs under internal/parallel (snapshots merged in shard-index
+// order) emit bit-identical aggregated metrics at any worker count.
+//
+// Registries are not safe for concurrent use; the intended pattern is one
+// registry per simulation (simulations are single-threaded), with snapshots
+// crossing goroutine boundaries as values.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Counter is a monotonically increasing uint64 metric, either stored
+// (Add/Inc) or function-backed (read at snapshot time).
+type Counter struct {
+	v  uint64
+	fn func() uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c.fn != nil {
+		return c.fn()
+	}
+	return c.v
+}
+
+// Gauge is an instantaneous float64 metric with a high-water mark. Stored
+// gauges track the mark on every Set; function-backed gauges track it at
+// each Sample/Snapshot, so the mark's fidelity follows the caller's
+// sampling cadence (as the real switch's polled counters would).
+type Gauge struct {
+	v   float64
+	hwm float64
+	fn  func() float64
+}
+
+// Set records the current value, updating the high-water mark.
+func (g *Gauge) Set(v float64) {
+	g.v = v
+	if v > g.hwm {
+		g.hwm = v
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g.fn != nil {
+		return g.fn()
+	}
+	return g.v
+}
+
+// HWM returns the high-water mark observed so far.
+func (g *Gauge) HWM() float64 { return g.hwm }
+
+// sample refreshes a function-backed gauge's high-water mark.
+func (g *Gauge) sample() {
+	if g.fn == nil {
+		return
+	}
+	if v := g.fn(); v > g.hwm {
+		g.hwm = v
+	}
+}
+
+// Histogram is a fixed-bucket histogram: observations are counted into the
+// bucket of the first upper bound >= v, with an implicit +Inf overflow
+// bucket. Bounds are fixed at creation so histograms from different shards
+// merge bucket-for-bucket.
+type Histogram struct {
+	bounds []float64 // strictly increasing upper bounds
+	counts []uint64  // len(bounds)+1; last is the +Inf bucket
+	n      uint64
+	sum    float64
+}
+
+// NewHistogram creates a histogram with the given strictly increasing
+// upper bounds.
+func NewHistogram(bounds ...float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not increasing at %d: %v", i, bounds))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+}
+
+// Observe counts one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.n++
+	h.sum += v
+}
+
+// N returns the total observation count.
+func (h *Histogram) N() uint64 { return h.n }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Registry is a named collection of metrics. Create with NewRegistry; a
+// name identifies exactly one metric of one type.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+func (r *Registry) checkFresh(name string) {
+	if _, ok := r.counters[name]; ok {
+		panic("obs: duplicate metric name " + name)
+	}
+	if _, ok := r.gauges[name]; ok {
+		panic("obs: duplicate metric name " + name)
+	}
+	if _, ok := r.hists[name]; ok {
+		panic("obs: duplicate metric name " + name)
+	}
+}
+
+// Counter returns the named counter, creating a stored one if absent.
+func (r *Registry) Counter(name string) *Counter {
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	r.checkFresh(name)
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// CounterFunc registers a function-backed counter read at snapshot time —
+// the zero-hot-path-cost way to expose an existing field.
+func (r *Registry) CounterFunc(name string, fn func() uint64) {
+	r.checkFresh(name)
+	r.counters[name] = &Counter{fn: fn}
+}
+
+// Gauge returns the named gauge, creating a stored one if absent.
+func (r *Registry) Gauge(name string) *Gauge {
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	r.checkFresh(name)
+	g := &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// GaugeFunc registers a function-backed gauge. Its high-water mark advances
+// on every Sample or Snapshot.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	r.checkFresh(name)
+	r.gauges[name] = &Gauge{fn: fn}
+}
+
+// Histogram returns the named histogram, creating it with the given bounds
+// if absent.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	r.checkFresh(name)
+	h := NewHistogram(bounds...)
+	r.hists[name] = h
+	return h
+}
+
+// AddHistogram registers an externally owned histogram (e.g. the RetxDelays
+// histogram living inside core.Metrics).
+func (r *Registry) AddHistogram(name string, h *Histogram) {
+	r.checkFresh(name)
+	r.hists[name] = h
+}
+
+// Sample refreshes the high-water marks of all function-backed gauges.
+// Periodic samplers (the stress test's occupancy sampler, corruptd's poll
+// loop) call this at their own cadence.
+func (r *Registry) Sample() {
+	for _, g := range r.gauges {
+		g.sample()
+	}
+}
+
+// CounterPoint is one counter in a snapshot.
+type CounterPoint struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// GaugePoint is one gauge in a snapshot.
+type GaugePoint struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	HWM   float64 `json:"hwm"`
+}
+
+// HistPoint is one histogram in a snapshot.
+type HistPoint struct {
+	Name   string    `json:"name"`
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	N      uint64    `json:"n"`
+	Sum    float64   `json:"sum"`
+}
+
+// Snapshot is a point-in-time copy of a registry, ordered by metric name.
+// It is a pure value: comparing two snapshots (or their JSON encodings)
+// byte-for-byte is the determinism check of the sharded experiment runs.
+type Snapshot struct {
+	Counters   []CounterPoint `json:"counters"`
+	Gauges     []GaugePoint   `json:"gauges"`
+	Histograms []HistPoint    `json:"histograms"`
+}
+
+// Snapshot captures the registry. Function-backed gauges are sampled first
+// so their high-water marks include the final value.
+func (r *Registry) Snapshot() Snapshot {
+	r.Sample()
+	var s Snapshot
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, CounterPoint{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugePoint{Name: name, Value: g.Value(), HWM: g.HWM()})
+	}
+	for name, h := range r.hists {
+		s.Histograms = append(s.Histograms, HistPoint{
+			Name:   name,
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: append([]uint64(nil), h.counts...),
+			N:      h.n,
+			Sum:    h.sum,
+		})
+	}
+	s.sort()
+	return s
+}
+
+func (s *Snapshot) sort() {
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+}
+
+// Counter returns the named counter value, or 0 when absent.
+func (s Snapshot) Counter(name string) uint64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// Gauge returns the named gauge point, or a zero point when absent.
+func (s Snapshot) Gauge(name string) GaugePoint {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g
+		}
+	}
+	return GaugePoint{Name: name}
+}
+
+// Histogram returns the named histogram point and whether it exists.
+func (s Snapshot) Histogram(name string) (HistPoint, bool) {
+	for _, h := range s.Histograms {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return HistPoint{}, false
+}
+
+// Merge combines two snapshots into one aggregate: counters and histogram
+// buckets add (histograms sharing a name must share bounds), gauges take
+// the maximum of value and high-water mark — the only associative,
+// order-independent reading of an instantaneous metric across independent
+// shards. Merge is written as a left fold so MergeSnapshots applied in
+// shard-index order is byte-deterministic at any worker count.
+func (s Snapshot) Merge(o Snapshot) Snapshot {
+	out := Snapshot{}
+	out.Counters = mergeCounters(s.Counters, o.Counters)
+	out.Gauges = mergeGauges(s.Gauges, o.Gauges)
+	out.Histograms = mergeHists(s.Histograms, o.Histograms)
+	return out
+}
+
+// MergeSnapshots left-folds the snapshots in argument order.
+func MergeSnapshots(ss ...Snapshot) Snapshot {
+	var out Snapshot
+	for i, s := range ss {
+		if i == 0 {
+			out = s
+			continue
+		}
+		out = out.Merge(s)
+	}
+	out.sort()
+	return out
+}
+
+func mergeCounters(a, b []CounterPoint) []CounterPoint {
+	m := map[string]uint64{}
+	var names []string
+	for _, lst := range [][]CounterPoint{a, b} {
+		for _, c := range lst {
+			if _, ok := m[c.Name]; !ok {
+				names = append(names, c.Name)
+			}
+			m[c.Name] += c.Value
+		}
+	}
+	sort.Strings(names)
+	out := make([]CounterPoint, len(names))
+	for i, n := range names {
+		out[i] = CounterPoint{Name: n, Value: m[n]}
+	}
+	return out
+}
+
+func mergeGauges(a, b []GaugePoint) []GaugePoint {
+	m := map[string]GaugePoint{}
+	var names []string
+	for _, lst := range [][]GaugePoint{a, b} {
+		for _, g := range lst {
+			cur, ok := m[g.Name]
+			if !ok {
+				names = append(names, g.Name)
+				m[g.Name] = g
+				continue
+			}
+			if g.Value > cur.Value {
+				cur.Value = g.Value
+			}
+			if g.HWM > cur.HWM {
+				cur.HWM = g.HWM
+			}
+			m[g.Name] = cur
+		}
+	}
+	sort.Strings(names)
+	out := make([]GaugePoint, len(names))
+	for i, n := range names {
+		out[i] = m[n]
+	}
+	return out
+}
+
+func mergeHists(a, b []HistPoint) []HistPoint {
+	m := map[string]HistPoint{}
+	var names []string
+	for _, lst := range [][]HistPoint{a, b} {
+		for _, h := range lst {
+			cur, ok := m[h.Name]
+			if !ok {
+				names = append(names, h.Name)
+				cp := h
+				cp.Bounds = append([]float64(nil), h.Bounds...)
+				cp.Counts = append([]uint64(nil), h.Counts...)
+				m[h.Name] = cp
+				continue
+			}
+			if len(cur.Bounds) != len(h.Bounds) {
+				panic("obs: merging histograms with different bucket shapes: " + h.Name)
+			}
+			for i, bd := range h.Bounds {
+				if cur.Bounds[i] != bd {
+					panic("obs: merging histograms with different bucket bounds: " + h.Name)
+				}
+			}
+			for i, c := range h.Counts {
+				cur.Counts[i] += c
+			}
+			cur.N += h.N
+			cur.Sum += h.Sum
+			m[h.Name] = cur
+		}
+	}
+	sort.Strings(names)
+	out := make([]HistPoint, len(names))
+	for i, n := range names {
+		out[i] = m[n]
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as indented JSON with a trailing newline —
+// the -metrics-out format of the cmd binaries.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

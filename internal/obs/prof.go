@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles begins a CPU profile at cpuPath and arranges a heap profile
+// at memPath; either may be empty to skip that profile. The returned stop
+// function finishes the CPU profile and writes the heap profile — call it
+// once, after the measured work, before exiting. This is the shared backing
+// of the -cpuprofile/-memprofile flags of cmd/paper, cmd/chaos and
+// cmd/lgsim.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		var first error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); first == nil {
+				first = err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if first == nil {
+					first = err
+				}
+			} else {
+				runtime.GC() // fresh allocation stats for the heap profile
+				if err := pprof.WriteHeapProfile(f); first == nil {
+					first = err
+				}
+				if err := f.Close(); first == nil {
+					first = err
+				}
+			}
+		}
+		return first
+	}, nil
+}

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartProfilesWritesBothFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	stop, err := StartProfiles(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A little work so the CPU profile has something to sample.
+	h := NewHistogram(1, 10, 100, 1000)
+	for i := 0; i < 200_000; i++ {
+		h.Observe(float64(i % 2000))
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestStartProfilesDisabled(t *testing.T) {
+	stop, err := StartProfiles("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("no-op stop errored: %v", err)
+	}
+}
+
+func TestStartProfilesBadPath(t *testing.T) {
+	if _, err := StartProfiles(filepath.Join(t.TempDir(), "no", "such", "dir", "cpu"), ""); err == nil {
+		t.Fatal("expected error for unwritable CPU profile path")
+	}
+}
+
+func TestWriteMetricsFileBadPath(t *testing.T) {
+	r := NewRegistry()
+	if err := WriteMetricsFile(filepath.Join(t.TempDir(), "missing", "m.json"), r.Snapshot()); err == nil {
+		t.Fatal("expected error for unwritable metrics path")
+	}
+	if err := WriteTraceFile(filepath.Join(t.TempDir(), "missing", "t.jsonl"), nil); err == nil {
+		t.Fatal("expected error for unwritable trace path")
+	}
+}

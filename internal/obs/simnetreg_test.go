@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"linkguardian/internal/simnet"
+	"linkguardian/internal/simtime"
+)
+
+func linkFixture(t *testing.T) (*simnet.Sim, *simnet.Link) {
+	t.Helper()
+	s := simnet.NewSim(1)
+	h1 := simnet.NewHost(s, "h1")
+	h2 := simnet.NewHost(s, "h2")
+	l := simnet.Connect(s, h1, h2, simtime.Rate25G, 100*simtime.Nanosecond)
+	return s, l
+}
+
+func TestRegisterLinkExposesBothDirections(t *testing.T) {
+	s, l := linkFixture(t)
+	r := NewRegistry()
+	RegisterLink(r, "link", l)
+
+	for i := 0; i < 5; i++ {
+		l.A().Send(s.NewPacket(simnet.KindData, 500, "h2"))
+	}
+	s.RunFor(simtime.Millisecond)
+	r.Sample()
+	snap := r.Snapshot()
+
+	if got := snap.Counter("link.h1->h2.port.tx_frames"); got != 5 {
+		t.Fatalf("tx_frames = %d, want 5", got)
+	}
+	if snap.Counter("link.h1->h2.port.tx_bytes") == 0 {
+		t.Fatal("tx_bytes not counted")
+	}
+	if got := snap.Counter("link.h2->h1.in.rx_all"); got != 5 {
+		t.Fatalf("receiver rx_all = %d, want 5", got)
+	}
+	if snap.Counter("link.h2->h1.in.rx_bad") != 0 {
+		t.Fatal("lossless link counted bad frames")
+	}
+	// Per-class queue series exist for every priority.
+	for class := 0; class < simnet.NumPrios; class++ {
+		name := "link.h1->h2.port.q" + string(rune('0'+class)) + ".drops"
+		found := false
+		for _, c := range snap.Counters {
+			if c.Name == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("missing per-class series %s", name)
+		}
+	}
+}
+
+func TestFlightRecorderDumpWithTracer(t *testing.T) {
+	s, l := linkFixture(t)
+	tr := simnet.NewTracer(64)
+	tr.Tap(s, l)
+	for i := 0; i < 3; i++ {
+		l.A().Send(s.NewPacket(simnet.KindData, 100, "h2"))
+	}
+	s.RunFor(simtime.Millisecond)
+
+	fr := &FlightRecorder{Dir: t.TempDir(), Scenario: "tap", Index: -1, Seed: 1, Tracer: tr}
+	if err := fr.SnapshotTrace("at-event.jsonl"); err != nil {
+		t.Fatal(err)
+	}
+	dir, err := fr.Dump("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"at-event.jsonl", "trace.jsonl", "trace.chrome.json", "REASON.txt"} {
+		b, err := os.ReadFile(filepath.Join(dir, f))
+		if err != nil {
+			t.Fatalf("missing %s: %v", f, err)
+		}
+		if len(b) == 0 {
+			t.Fatalf("%s is empty", f)
+		}
+	}
+	b, _ := os.ReadFile(filepath.Join(dir, "trace.jsonl"))
+	if got := strings.Count(string(b), "\n"); got != 3 {
+		t.Fatalf("trace.jsonl has %d lines, want 3", got)
+	}
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"linkguardian/internal/simnet"
+)
+
+// TraceLine is the JSONL encoding of one simnet.TraceEvent. Field order is
+// fixed by the struct, so exports are byte-deterministic — the golden-trace
+// regression test compares them verbatim.
+type TraceLine struct {
+	TS        int64  `json:"ts"` // ns since simulation epoch
+	Link      string `json:"link"`
+	Kind      string `json:"kind"`
+	Size      int    `json:"size"`
+	Flow      int    `json:"flow,omitempty"`
+	Seq       string `json:"seq,omitempty"` // "era:n" when the LG header is present
+	Retx      bool   `json:"retx,omitempty"`
+	Dummy     bool   `json:"dummy,omitempty"`
+	Ack       string `json:"ack,omitempty"` // acked seqNo when an ACK header is present
+	Notif     int    `json:"notif,omitempty"`
+	Corrupted bool   `json:"corrupted,omitempty"`
+}
+
+// lineFor flattens a trace event.
+func lineFor(e simnet.TraceEvent) TraceLine {
+	l := TraceLine{
+		TS:        int64(e.At),
+		Link:      e.Link,
+		Kind:      e.Kind.String(),
+		Size:      e.Size,
+		Flow:      e.FlowID,
+		Notif:     e.NotifCount,
+		Corrupted: e.Corrupted,
+	}
+	if e.HasLG {
+		l.Seq = fmt.Sprintf("%d:%d", e.Era, e.Seq)
+		l.Retx = e.Retx
+		l.Dummy = e.Dummy
+	}
+	if e.AckValid {
+		l.Ack = fmt.Sprintf("%d", e.AckSeq)
+	}
+	return l
+}
+
+// WriteTraceJSONL serializes the events as one JSON object per line,
+// oldest first.
+func WriteTraceJSONL(w io.Writer, events []simnet.TraceEvent) error {
+	enc := json.NewEncoder(w)
+	for _, e := range events {
+		if err := enc.Encode(lineFor(e)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one entry of the Chrome trace_event JSON array (the
+// "JSON Array Format" Perfetto loads directly).
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Scope string         `json:"s,omitempty"`
+	TS    float64        `json:"ts"` // µs
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace serializes the events in Chrome trace_event format with
+// one track (thread) per transmitting interface, so Perfetto renders each
+// link direction as its own swim lane. Load the file at ui.perfetto.dev.
+func WriteChromeTrace(w io.Writer, events []simnet.TraceEvent) error {
+	// Deterministic track numbering: sorted link names.
+	links := map[string]int{}
+	var names []string
+	for _, e := range events {
+		if _, ok := links[e.Link]; !ok {
+			links[e.Link] = 0
+			names = append(names, e.Link)
+		}
+	}
+	sort.Strings(names)
+	for i, n := range names {
+		links[n] = i + 1
+	}
+
+	out := make([]chromeEvent, 0, len(events)+len(names))
+	for _, n := range names {
+		out = append(out, chromeEvent{
+			Name:  "thread_name",
+			Phase: "M",
+			TID:   links[n],
+			Args:  map[string]any{"name": n},
+		})
+	}
+	for _, e := range events {
+		name := e.Kind.String()
+		args := map[string]any{"size": e.Size}
+		if e.FlowID != 0 {
+			args["flow"] = e.FlowID
+		}
+		if e.HasLG {
+			name = fmt.Sprintf("%s %d:%d", name, e.Era, e.Seq)
+			if e.Retx {
+				args["retx"] = true
+			}
+			if e.Dummy {
+				args["dummy"] = true
+			}
+		}
+		if e.AckValid {
+			args["ack"] = e.AckSeq
+		}
+		if e.NotifCount > 0 {
+			args["notif"] = e.NotifCount
+		}
+		if e.Corrupted {
+			name += " CORRUPTED"
+			args["corrupted"] = true
+		}
+		out = append(out, chromeEvent{
+			Name:  name,
+			Phase: "i",
+			Scope: "t",
+			TS:    float64(e.At) / 1e3,
+			TID:   links[e.Link],
+			Args:  args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": out})
+}

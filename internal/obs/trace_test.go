@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"linkguardian/internal/simnet"
+	"linkguardian/internal/simtime"
+)
+
+func sampleEvents() []simnet.TraceEvent {
+	return []simnet.TraceEvent{
+		{At: 1500, Link: "sw2:0", Kind: simnet.KindData, Size: 1518, FlowID: 7,
+			HasLG: true, Seq: 41, Era: 1},
+		{At: 2500, Link: "sw2:0", Kind: simnet.KindData, Size: 64,
+			HasLG: true, Seq: 42, Retx: true, Corrupted: true},
+		{At: 3500, Link: "sw6:0", Kind: simnet.KindLGAck, Size: 64,
+			AckValid: true, AckSeq: 41, NotifCount: 2},
+	}
+}
+
+func TestWriteTraceJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTraceJSONL(&buf, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), buf.String())
+	}
+	parse := func(s string) TraceLine {
+		var l TraceLine
+		if err := json.Unmarshal([]byte(s), &l); err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	if l := parse(lines[0]); l.TS != 1500 || l.Link != "sw2:0" || l.Seq != "1:41" || l.Flow != 7 {
+		t.Fatalf("line 0 = %+v", l)
+	}
+	if l := parse(lines[1]); !l.Retx || !l.Corrupted || l.Seq != "0:42" {
+		t.Fatalf("line 1 = %+v", l)
+	}
+	if l := parse(lines[2]); l.Ack != "41" || l.Notif != 2 || l.Seq != "" {
+		t.Fatalf("line 2 = %+v", l)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			Scope string         `json:"s"`
+			TS    float64        `json:"ts"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid trace_event JSON: %v", err)
+	}
+	// 2 thread_name metadata records (one per link) + 3 instants.
+	if len(doc.TraceEvents) != 5 {
+		t.Fatalf("got %d events, want 5", len(doc.TraceEvents))
+	}
+	meta := map[int]string{}
+	for _, e := range doc.TraceEvents[:2] {
+		if e.Phase != "M" || e.Name != "thread_name" {
+			t.Fatalf("expected metadata first, got %+v", e)
+		}
+		meta[e.TID] = e.Args["name"].(string)
+	}
+	// Sorted link names get ascending tids.
+	if meta[1] != "sw2:0" || meta[2] != "sw6:0" {
+		t.Fatalf("track assignment = %v", meta)
+	}
+	first := doc.TraceEvents[2]
+	if first.Phase != "i" || first.Scope != "t" || first.TS != 1.5 || first.TID != 1 {
+		t.Fatalf("instant event = %+v (ts must be µs)", first)
+	}
+	corrupted := doc.TraceEvents[3]
+	if !strings.Contains(corrupted.Name, "CORRUPTED") || corrupted.Args["retx"] != true {
+		t.Fatalf("corrupted retx event = %+v", corrupted)
+	}
+}
+
+func TestWriteTraceFilePicksFormatByExtension(t *testing.T) {
+	dir := t.TempDir()
+	jl := filepath.Join(dir, "t.jsonl")
+	ch := filepath.Join(dir, "t.json")
+	if err := WriteTraceFile(jl, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTraceFile(ch, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	jlb, _ := os.ReadFile(jl)
+	chb, _ := os.ReadFile(ch)
+	if !strings.HasPrefix(string(jlb), "{\"ts\":") {
+		t.Fatalf(".jsonl output is not JSONL: %q", string(jlb[:30]))
+	}
+	if !strings.HasPrefix(string(chb), "{\"traceEvents\":") {
+		t.Fatalf(".json output is not Chrome trace_event: %q", string(chb[:30]))
+	}
+}
+
+func TestTraceLineTimestampUnits(t *testing.T) {
+	e := simnet.TraceEvent{At: simtime.Time(3 * simtime.Microsecond), Link: "l", Kind: simnet.KindData}
+	l := lineFor(e)
+	if l.TS != 3000 {
+		t.Fatalf("ts = %d ns, want 3000", l.TS)
+	}
+}

@@ -1,0 +1,73 @@
+package seqnum
+
+import "testing"
+
+// fromAbs maps a wide (64-bit) absolute packet counter to its on-wire
+// era-tagged 16-bit sequence number: the low 16 bits plus an era bit that
+// toggles on every wrap. This is the reference model the fuzz target
+// checks the era-corrected comparison against.
+func fromAbs(x uint64) Seq {
+	return Seq{N: uint16(x), Era: uint8((x >> 16) & 1)}
+}
+
+// FuzzSeqCompare drives Compare/Less/Distance/Add differentially against
+// the wide-integer model: pick an arbitrary absolute position x and an
+// offset k with |k| < Half (the protocol's defined comparison range), and
+// require the 16-bit era-corrected arithmetic to agree with the 64-bit
+// truth everywhere.
+func FuzzSeqCompare(f *testing.F) {
+	f.Add(uint64(0), int16(0))
+	f.Add(uint64(1), int16(1))
+	f.Add(uint64(65535), int16(1))        // wrap forward, era toggle
+	f.Add(uint64(65536), int16(-1))       // wrap backward
+	f.Add(uint64(65536+10), int16(-20))   // cross-era behind
+	f.Add(uint64(1<<32-5), int16(100))    // deep counter
+	f.Add(uint64(98304), int16(16383))    // near Half, same era
+	f.Add(uint64(131071), int16(-16383))  // near -Half across era
+	f.Fuzz(func(t *testing.T, x uint64, k int16) {
+		if int(k) >= Half || int(k) <= -Half {
+			t.Skip()
+		}
+		// Keep x+k inside the uint64 range.
+		if x > 1<<63 {
+			x >>= 1
+		}
+		if k < 0 && uint64(-int64(k)) > x {
+			t.Skip() // would underflow the absolute counter
+		}
+		a := fromAbs(x)
+		b := fromAbs(x + uint64(int64(k))) // k<0 subtracts via two's complement
+
+		want := 0
+		switch {
+		case k > 0:
+			want = -1 // a is before b
+		case k < 0:
+			want = 1
+		}
+		if got := Compare(a, b); got != want {
+			t.Fatalf("Compare(%v, %v) = %d, want %d (x=%d k=%d)", a, b, got, want, x, k)
+		}
+		if got := Compare(b, a); got != -want {
+			t.Fatalf("Compare(%v, %v) = %d, want %d (antisymmetry)", b, a, got, -want)
+		}
+		if got := Distance(a, b); got != int(k) {
+			t.Fatalf("Distance(%v, %v) = %d, want %d", a, b, got, k)
+		}
+		if got := Less(a, b); got != (k > 0) {
+			t.Fatalf("Less(%v, %v) = %v, want %v", a, b, got, k > 0)
+		}
+		if got := LessEq(a, b); got != (k >= 0) {
+			t.Fatalf("LessEq(%v, %v) = %v, want %v", a, b, got, k >= 0)
+		}
+		if got := a.Add(int(k)); got != b {
+			t.Fatalf("%v.Add(%d) = %v, want %v", a, k, got, b)
+		}
+		if got := b.Add(-int(k)); got != a {
+			t.Fatalf("%v.Add(%d) = %v, want %v", b, -k, got, a)
+		}
+		if got := a.Next(); got != fromAbs(x+1) {
+			t.Fatalf("%v.Next() = %v, want %v", a, got, fromAbs(x+1))
+		}
+	})
+}

@@ -1,0 +1,53 @@
+package simnet
+
+import (
+	"testing"
+
+	"linkguardian/internal/simtime"
+)
+
+// The per-queue PFC counters must mirror a switch ASIC's: pause assertions
+// (including quanta refreshes), explicit resumes, and quanta expiries each
+// counted where they happen, with no double counting between Pause and
+// PauseFor.
+func TestPFCCounters(t *testing.T) {
+	s := NewSim(1)
+	h1 := NewHost(s, "h1")
+	h2 := NewHost(s, "h2")
+	l := Connect(s, h1, h2, simtime.Rate25G, 0)
+	p := l.A().Port
+	q := p.Q(PrioNormal)
+
+	p.Pause(PrioNormal, true)
+	p.Pause(PrioNormal, false)
+	if q.Pauses != 1 || q.Resumes != 1 || q.PauseExpiries != 0 {
+		t.Fatalf("after pause+resume: %d/%d/%d, want 1/1/0", q.Pauses, q.Resumes, q.PauseExpiries)
+	}
+
+	// A quanta pause that expires on its own counts a pause and an expiry,
+	// not a resume.
+	p.PauseFor(PrioNormal, 10*simtime.Microsecond)
+	s.RunFor(simtime.Millisecond)
+	if q.Pauses != 2 || q.Resumes != 1 || q.PauseExpiries != 1 {
+		t.Fatalf("after expiry: %d/%d/%d, want 2/1/1", q.Pauses, q.Resumes, q.PauseExpiries)
+	}
+	if q.Paused() {
+		t.Fatal("class still paused after quanta expiry")
+	}
+
+	// A refresh before expiry counts another pause; the early resume cancels
+	// the pending expiry so no expiry is ever recorded for it.
+	p.PauseFor(PrioNormal, 100*simtime.Microsecond)
+	p.PauseFor(PrioNormal, 100*simtime.Microsecond)
+	p.Pause(PrioNormal, false)
+	s.RunFor(simtime.Millisecond)
+	if q.Pauses != 4 || q.Resumes != 2 || q.PauseExpiries != 1 {
+		t.Fatalf("after refresh+early resume: %d/%d/%d, want 4/2/1", q.Pauses, q.Resumes, q.PauseExpiries)
+	}
+
+	// PauseFor with quanta <= 0 delegates to Pause: exactly one pause.
+	p.PauseFor(PrioNormal, 0)
+	if q.Pauses != 5 {
+		t.Fatalf("indefinite PauseFor double-counted: %d", q.Pauses)
+	}
+}

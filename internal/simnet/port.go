@@ -39,6 +39,14 @@ type Queue struct {
 
 	// Drops counts tail drops due to MaxBytes.
 	Drops uint64
+
+	// PFC activity counters, as a switch ASIC's per-queue pause counters
+	// would expose them: Pauses counts pause assertions (including quanta
+	// refreshes), Resumes explicit resumes, PauseExpiries quanta timeouts
+	// that auto-resumed the class.
+	Pauses        uint64
+	Resumes       uint64
+	PauseExpiries uint64
 }
 
 // Len returns the number of queued packets.
@@ -131,6 +139,11 @@ func (p *Port) Pause(class int, paused bool) {
 	q := &p.qs[class]
 	p.sim.Cancel(q.expiry)
 	q.expiry = eventq.Timer{}
+	if paused {
+		q.Pauses++
+	} else {
+		q.Resumes++
+	}
 	q.paused = paused
 	if !paused {
 		p.kick()
@@ -147,9 +160,11 @@ func (p *Port) PauseFor(class int, quanta simtime.Duration) {
 	}
 	q := &p.qs[class]
 	p.sim.Cancel(q.expiry)
+	q.Pauses++
 	q.paused = true
 	q.expiry = p.sim.After(quanta, func() {
 		q.expiry = eventq.Timer{}
+		q.PauseExpiries++
 		q.paused = false
 		p.kick()
 	})

@@ -110,7 +110,12 @@ func (t *Tracer) Filter(keep func(TraceEvent) bool) []TraceEvent {
 // Tap attaches the tracer to a link: every frame transmitted in either
 // direction is recorded at its delivery decision point, with the
 // corruption verdict. Multiple taps stack.
-func (t *Tracer) Tap(sim *Sim, l *Link) {
+func (t *Tracer) Tap(sim *Sim, l *Link) { t.TapIf(sim, l, nil) }
+
+// TapIf is Tap restricted to events satisfying keep (nil keeps everything).
+// A filtered ring retains interesting history — e.g. protected data frames —
+// that a full ring would rotate out under a flood of control frames.
+func (t *Tracer) TapIf(sim *Sim, l *Link, keep func(TraceEvent) bool) {
 	l.TapDeliver(func(pkt *Packet, from *Ifc, corrupted bool) {
 		e := TraceEvent{
 			At:        sim.Now(),
@@ -133,6 +138,9 @@ func (t *Tracer) Tap(sim *Sim, l *Link) {
 		}
 		if pkt.Notif != nil {
 			e.NotifCount = len(pkt.Notif.Missing)
+		}
+		if keep != nil && !keep(e) {
+			return
 		}
 		t.record(e)
 	})

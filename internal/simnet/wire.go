@@ -1,0 +1,109 @@
+package simnet
+
+import "linkguardian/internal/seqnum"
+
+// On-wire packing of the 3-byte LinkGuardian headers (§3.5: 16-bit seqNo,
+// era bit and packet-type metadata in LGHeaderBytes = 3 bytes). The
+// simulator carries headers parsed (Packet.LG / Packet.LGAck) and accounts
+// only their size; this file defines the bit layout a hardware dataplane
+// would emit, and the fuzz tests hold encode/decode to an exact bijection
+// on the data header's 24 bits.
+//
+// Data header layout:
+//
+//	byte 0: seqNo bits 0–7      (LastTx on dummy packets, which carry no
+//	byte 1: seqNo bits 8–15      own seqNo — §3.2)
+//	byte 2: bit 0 era, bit 1 retx, bit 2 dummy, bits 3–7 channel (0–31)
+//
+// ACK header layout:
+//
+//	byte 0: latestRxSeqNo bits 0–7
+//	byte 1: latestRxSeqNo bits 8–15
+//	byte 2: bit 0 era, bit 1 valid, bit 2 spare, bits 3–7 channel
+const (
+	lgEraBit   = 1 << 0
+	lgRetxBit  = 1 << 1
+	lgDummyBit = 1 << 2
+	lgChanMask = 0x1f
+	lgChanShift = 3
+)
+
+// EncodeLGData packs a data header into its 3-byte wire form. Channels
+// above 31 are truncated to the 5 wire bits (per-class protection uses one
+// channel per traffic class; 32 classes is far beyond any deployment).
+func EncodeLGData(h *LGData) [LGHeaderBytes]byte {
+	seq := h.Seq
+	if h.Dummy {
+		seq = h.LastTx
+	}
+	var b [LGHeaderBytes]byte
+	b[0] = byte(seq.N)
+	b[1] = byte(seq.N >> 8)
+	b[2] = (h.Chan & lgChanMask) << lgChanShift
+	if seq.Era&1 != 0 {
+		b[2] |= lgEraBit
+	}
+	if h.Retx {
+		b[2] |= lgRetxBit
+	}
+	if h.Dummy {
+		b[2] |= lgDummyBit
+	}
+	return b
+}
+
+// DecodeLGData unpacks a 3-byte wire header. Decode∘Encode is the identity
+// on canonical headers (era and channel within wire range, the unused seq
+// field zero), and Encode∘Decode is the identity on all 2^24 byte patterns.
+func DecodeLGData(b [LGHeaderBytes]byte) LGData {
+	seq := seqnum.Seq{
+		N:   uint16(b[0]) | uint16(b[1])<<8,
+		Era: b[2] & lgEraBit,
+	}
+	h := LGData{
+		Chan:  (b[2] >> lgChanShift) & lgChanMask,
+		Retx:  b[2]&lgRetxBit != 0,
+		Dummy: b[2]&lgDummyBit != 0,
+	}
+	if h.Dummy {
+		h.LastTx = seq
+	} else {
+		h.Seq = seq
+	}
+	return h
+}
+
+const (
+	ackEraBit   = 1 << 0
+	ackValidBit = 1 << 1
+	ackSpareBit = 1 << 2
+)
+
+// EncodeLGAck packs an ACK header into its 3-byte wire form.
+func EncodeLGAck(h *LGAck) [LGHeaderBytes]byte {
+	var b [LGHeaderBytes]byte
+	b[0] = byte(h.LatestRx.N)
+	b[1] = byte(h.LatestRx.N >> 8)
+	b[2] = (h.Chan & lgChanMask) << lgChanShift
+	if h.LatestRx.Era&1 != 0 {
+		b[2] |= ackEraBit
+	}
+	if h.Valid {
+		b[2] |= ackValidBit
+	}
+	return b
+}
+
+// DecodeLGAck unpacks a 3-byte ACK wire header. The spare bit is ignored,
+// so Encode∘Decode is the identity on every byte pattern with the spare
+// bit clear.
+func DecodeLGAck(b [LGHeaderBytes]byte) LGAck {
+	return LGAck{
+		LatestRx: seqnum.Seq{
+			N:   uint16(b[0]) | uint16(b[1])<<8,
+			Era: b[2] & ackEraBit,
+		},
+		Chan:  (b[2] >> lgChanShift) & lgChanMask,
+		Valid: b[2]&ackValidBit != 0,
+	}
+}

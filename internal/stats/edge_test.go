@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEmptyDistIsNaN(t *testing.T) {
+	d := NewDist(nil)
+	if d.N() != 0 {
+		t.Fatalf("N = %d", d.N())
+	}
+	for _, got := range []float64{
+		d.Percentile(0), d.Percentile(50), d.Percentile(100),
+		d.CDFAt(0), d.Min(), d.Max(), d.Mean(), d.StdDev(),
+		Percentile(nil, 50),
+	} {
+		if !math.IsNaN(got) {
+			t.Fatalf("empty-distribution query = %v, want NaN", got)
+		}
+	}
+	if pts := d.CDFPoints(10); pts != nil {
+		t.Fatalf("CDFPoints on empty dist = %v", pts)
+	}
+}
+
+func TestSingleSample(t *testing.T) {
+	d := NewDist([]float64{42})
+	for _, p := range []float64{0, 1, 50, 99, 100} {
+		if got := d.Percentile(p); got != 42 {
+			t.Fatalf("P%v = %v, want 42", p, got)
+		}
+	}
+	if got := d.CDFAt(41.999); got != 0 {
+		t.Fatalf("CDF below the sample = %v, want 0", got)
+	}
+	if got := d.CDFAt(42); got != 1 {
+		t.Fatalf("CDF at the sample = %v, want 1", got)
+	}
+	if d.StdDev() != 0 {
+		t.Fatalf("stddev of one sample = %v", d.StdDev())
+	}
+}
+
+func TestAllTies(t *testing.T) {
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = 7
+	}
+	d := NewDist(xs)
+	for _, p := range []float64{0, 25, 50, 99.9, 100} {
+		if got := d.Percentile(p); got != 7 {
+			t.Fatalf("P%v = %v, want 7", p, got)
+		}
+	}
+	if got := d.CDFAt(7); got != 1 {
+		t.Fatalf("CDFAt(tie value) = %v, want 1", got)
+	}
+	if got := d.CDFAt(6.999); got != 0 {
+		t.Fatalf("CDFAt just below ties = %v, want 0", got)
+	}
+	s := d.Summarize()
+	if s.Min != 7 || s.P50 != 7 || s.Max != 7 {
+		t.Fatalf("summary of ties = %+v", s)
+	}
+}
+
+func TestPercentileClamping(t *testing.T) {
+	d := NewDist([]float64{1, 2, 3})
+	if got := d.Percentile(-10); got != 1 {
+		t.Fatalf("P(-10) = %v, want the minimum", got)
+	}
+	if got := d.Percentile(250); got != 3 {
+		t.Fatalf("P(250) = %v, want the maximum", got)
+	}
+}

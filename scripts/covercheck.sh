@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# covercheck.sh — ratcheted per-package coverage gate.
+#
+# Runs the unit tests with -cover and compares every package's statement
+# coverage against the floor recorded in scripts/coverage_thresholds.txt.
+# Raise a floor when a package's coverage durably improves; never lower one
+# without a written justification in the commit that does it.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+thresholds=scripts/coverage_thresholds.txt
+
+out=$(go test -count=1 -cover ./internal/... 2>&1) || {
+    echo "$out"
+    echo "covercheck: tests failed" >&2
+    exit 1
+}
+echo "$out"
+
+fail=0
+while read -r pkg floor; do
+    [[ -z "$pkg" || "$pkg" == \#* ]] && continue
+    line=$(echo "$out" | grep -E "^ok[[:space:]]+$pkg[[:space:]]" || true)
+    if [[ -z "$line" ]]; then
+        echo "covercheck: no coverage line for $pkg" >&2
+        fail=1
+        continue
+    fi
+    pct=$(echo "$line" | grep -oE '[0-9]+\.[0-9]+% of statements' | grep -oE '^[0-9]+\.[0-9]+')
+    if [[ -z "$pct" ]]; then
+        echo "covercheck: could not parse coverage for $pkg: $line" >&2
+        fail=1
+        continue
+    fi
+    if awk -v p="$pct" -v f="$floor" 'BEGIN { exit !(p < f) }'; then
+        echo "covercheck: $pkg at ${pct}% is below the ${floor}% floor" >&2
+        fail=1
+    fi
+done < "$thresholds"
+
+if [[ "$fail" -ne 0 ]]; then
+    echo "covercheck: FAILED" >&2
+    exit 1
+fi
+echo "covercheck: all packages at or above their floors"
