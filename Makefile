@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 build vet test race bench chaos cover fuzz clean
+.PHONY: all tier1 build vet test race bench bench-smoke chaos cover fuzz clean
 
 all: tier1
 
@@ -27,9 +27,17 @@ race:
 	$(GO) test -race ./internal/parallel
 	$(GO) test -race -run 'TestParallel.*MatchesSerial' ./internal/experiments
 
+# Full hot-path benchmark; records the result (with the pre-optimization
+# baseline and speedup) as BENCH_4.json at the repository root.
 bench:
-	$(GO) test -bench . -benchtime 1x -run '^$$' .
+	./scripts/bench.sh
 	$(GO) test -bench . -run '^$$' ./internal/eventq
+
+# CI gate: one benchmark iteration, failing if allocs/op regresses against
+# the committed budgets in scripts/bench_baseline.txt. Throughput is not
+# gated (machine-dependent); the allocation count is deterministic.
+bench-smoke:
+	./scripts/benchsmoke.sh
 
 # Ratcheted per-package coverage gate. Floors live in
 # scripts/coverage_thresholds.txt; raise them as coverage improves.

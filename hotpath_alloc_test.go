@@ -1,0 +1,65 @@
+package bench
+
+// Zero-allocation guardrails for the steady-state per-packet paths. These
+// are tests, not benchmarks, so `go test ./...` (tier 1) catches an
+// allocation regression even when nobody runs `make bench`: after warmup,
+// advancing the simulation must not allocate on the port→link→receive path
+// nor on the loss-notification→Tx-buffer→retransmission path.
+
+import (
+	"testing"
+
+	"linkguardian/internal/core"
+	"linkguardian/internal/experiments"
+	"linkguardian/internal/simnet"
+	"linkguardian/internal/simtime"
+)
+
+// allocSlice is sized so one measured run carries ~800 packets — large
+// enough that any per-packet allocation shows up as hundreds of allocs per
+// run, small enough that the test stays fast.
+const allocSlice = 100 * simtime.Microsecond
+
+func measureHotPathAllocs(t *testing.T, loss float64) float64 {
+	t.Helper()
+	cfg := core.NewConfig(simtime.Rate100G, loss)
+	cfg.Mode = core.Ordered
+	tb := experiments.NewTestbed(1, simtime.Rate100G, cfg)
+	tb.SetLoss(loss)
+	tb.LG.Enable()
+	tb.CountReceived()
+	// Finite switch buffer, as in the benchmark: the generator is PFC-
+	// oblivious, so without a cap the paused backlog grows without bound
+	// and its growth reads as hot-path allocation.
+	tb.Link.A().Port.Q(simnet.PrioNormal).MaxBytes = 256 << 10
+	gen := tb.StartGeneratorAt(1500, 0.98)
+	defer gen.Stop()
+	// Warm up pools, queues and the event heap to their high-water marks.
+	for i := 0; i < 4; i++ {
+		tb.Sim.RunFor(simtime.Millisecond)
+	}
+	return testing.AllocsPerRun(20, func() {
+		tb.Sim.RunFor(allocSlice)
+	})
+}
+
+// The clean steady-state path — generator → egress queue → wire → receiver
+// → forward → sink — must be allocation-free per packet.
+func TestHotPathZeroAllocClean(t *testing.T) {
+	if avg := measureHotPathAllocs(t, 0); avg != 0 {
+		t.Fatalf("clean hot path allocates: %.2f allocs per %v slice (~800 pkts)", avg, allocSlice)
+	}
+}
+
+// The recovery path — corruption drop, loss notification, Tx-buffer claim,
+// high-priority retransmission, reordering-buffer release — must also be
+// allocation-free once pools are warm. At 1e-3 loss each measured slice
+// carries ~1 loss event; averaging over 20 runs exercises the full
+// machinery. A fraction of an alloc per run is tolerated for rare
+// amortized growth (map resizing at a new high-water mark); a per-packet
+// or per-loss regression shows up as hundreds.
+func TestSenderRetxPathZeroAlloc(t *testing.T) {
+	if avg := measureHotPathAllocs(t, 1e-3); avg >= 1 {
+		t.Fatalf("lossy hot path allocates: %.2f allocs per %v slice (~800 pkts, ~1 loss)", avg, allocSlice)
+	}
+}

@@ -20,6 +20,7 @@ const (
 	RuleOccupancyRx = "rx-buffer-occupancy" // reordering buffer outside [0, RecircBufBytes]
 	RuleLiveness    = "lost-unaccounted"    // packets neither delivered nor accounted lost
 	RuleEffLoss     = "effective-loss"      // in-envelope run exceeded the target loss rate
+	RuleUseAfterRel = "use-after-release"   // a free-listed packet observed in the dataplane
 )
 
 // Violation aggregates every firing of one invariant rule: the first
@@ -63,6 +64,11 @@ type Checker struct {
 	sim *simnet.Sim
 	g   *core.Instance
 
+	// linkDelay is the protected link's propagation delay, used to place the
+	// mid-flight use-after-release probe strictly between transmission and
+	// delivery of a frame.
+	linkDelay simtime.Duration
+
 	// outstanding maps original transmitted seqNos to their wire time,
 	// until forwarded. delivered remembers recently forwarded seqNos;
 	// deliveredFifo evicts them once deliveredWindow behind the newest.
@@ -95,6 +101,7 @@ func Watch(sim *simnet.Sim, link *simnet.Link, protected *simnet.Ifc, g *core.In
 	c := &Checker{
 		sim:         sim,
 		g:           g,
+		linkDelay:   link.Delay,
 		outstanding: map[seqnum.Seq]simtime.Time{},
 		delivered:   map[seqnum.Seq]struct{}{},
 		lastMode:    g.Mode(),
@@ -102,7 +109,7 @@ func Watch(sim *simnet.Sim, link *simnet.Link, protected *simnet.Ifc, g *core.In
 	}
 	link.TapDeliver(func(pkt *simnet.Packet, from *simnet.Ifc, corrupted bool) {
 		if from == protected {
-			c.onWire(pkt)
+			c.onWire(pkt, corrupted)
 		}
 	})
 	g.OnForward(c.onForward)
@@ -132,10 +139,29 @@ func (c *Checker) flag(rule, detail string, args ...any) {
 
 // onWire observes every frame put on the wire in the protected direction,
 // before the corruption verdict takes effect. Original (non-retransmitted)
-// protected data packets enter the liveness ledger here.
-func (c *Checker) onWire(pkt *simnet.Packet) {
+// protected data packets enter the liveness ledger here. Every frame is also
+// screened by the use-after-release detector, keyed on the packet pool's
+// generation counter.
+func (c *Checker) onWire(pkt *simnet.Packet, corrupted bool) {
 	c.checkOccupancy()
-	if pkt.Kind != simnet.KindData || pkt.LG == nil || pkt.LG.Dummy || pkt.LG.Retx {
+	if pkt.Released() {
+		c.flag(RuleUseAfterRel, "frame %d (kind %v) transmitted while in the free list", pkt.ID, pkt.Kind)
+	}
+	if !corrupted && c.linkDelay > 0 {
+		// The frame is in flight until it reaches the receiving MAC one
+		// propagation delay from now; nothing may release or recycle it
+		// before then. Probe halfway: a generation change means some
+		// terminal point released a packet it no longer owned.
+		p, gen := pkt, pkt.PoolGen()
+		c.sim.After(c.linkDelay/2, func() {
+			if p.Released() || p.PoolGen() != gen {
+				c.flag(RuleUseAfterRel,
+					"in-flight frame recycled mid-propagation (pool gen %d -> %d, released=%v)",
+					gen, p.PoolGen(), p.Released())
+			}
+		})
+	}
+	if pkt.Kind != simnet.KindData || !pkt.LG.Present || pkt.LG.Dummy || pkt.LG.Retx {
 		return
 	}
 	if pkt.LG.Chan != c.g.Config().Channel {
@@ -157,7 +183,10 @@ func (c *Checker) onWire(pkt *simnet.Packet) {
 // onForward observes every packet the receiver hands to the IP layer.
 func (c *Checker) onForward(pkt *simnet.Packet) {
 	c.checkOccupancy()
-	if pkt.LG == nil || pkt.LG.Chan != c.g.Config().Channel {
+	if pkt.Released() {
+		c.flag(RuleUseAfterRel, "frame %d forwarded to the IP layer while in the free list", pkt.ID)
+	}
+	if !pkt.LG.Present || pkt.LG.Chan != c.g.Config().Channel {
 		return
 	}
 	seq := pkt.LG.Seq

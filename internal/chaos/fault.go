@@ -183,7 +183,7 @@ func (*ReorderStorm) End(*Rig) {}
 
 // Verdict drops every Every-th protected data frame.
 func (f *ReorderStorm) Verdict(r *Rig, pkt *simnet.Packet, from *simnet.Ifc) simnet.Verdict {
-	if from != r.Protected || pkt.Kind != simnet.KindData || pkt.LG == nil {
+	if from != r.Protected || pkt.Kind != simnet.KindData || !pkt.LG.Present {
 		return simnet.VerdictDefer
 	}
 	f.n++

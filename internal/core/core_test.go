@@ -125,7 +125,7 @@ func dropDataNth(link *simnet.Link, from *simnet.Ifc, drops ...int) {
 	}
 	count := 0
 	link.DropFn = func(p *simnet.Packet, f *simnet.Ifc) bool {
-		if f != from || p.LG == nil || p.LG.Dummy || p.LG.Retx {
+		if f != from || !p.LG.Present || p.LG.Dummy || p.LG.Retx {
 			return false
 		}
 		count++
@@ -256,7 +256,7 @@ func TestAllCopiesLostFallsBackToTimeout(t *testing.T) {
 	// Drop the 10th data packet and every retransmitted copy of it.
 	count := 0
 	tb.link.DropFn = func(p *simnet.Packet, f *simnet.Ifc) bool {
-		if f != tb.link.A() || p.LG == nil || p.LG.Dummy {
+		if f != tb.link.A() || !p.LG.Present || p.LG.Dummy {
 			return false
 		}
 		if p.LG.Retx {

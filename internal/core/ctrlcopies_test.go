@@ -120,7 +120,7 @@ func TestCtrlCopiesResumeLossTolerated(t *testing.T) {
 	// copy of every back-to-back resume pair dies on the way back.
 	dataN, resumeN := 0, 0
 	tb.link.DropFn = func(p *simnet.Packet, f *simnet.Ifc) bool {
-		if f == tb.link.A() && p.LG != nil && !p.LG.Dummy && !p.LG.Retx {
+		if f == tb.link.A() && p.LG.Present && !p.LG.Dummy && !p.LG.Retx {
 			dataN++
 			k := dataN % 3000
 			return k >= 1 && k <= 3

@@ -42,7 +42,7 @@ type Instance struct {
 	// retransmit it.
 	ackView    seqnum.Seq
 	ackNo      seqnum.Seq // next seqNo to forward (Ordered mode)
-	missing    map[seqnum.Seq]*lossRecord
+	missing    map[seqnum.Seq]lossRecord
 	notified   seqnum.Seq // highest seqNo ever included in a loss notification
 	recirc     *simnet.Ifc
 	peerSender *Instance // other direction's instance (bidirectional, §5)
@@ -55,6 +55,11 @@ type Instance struct {
 	dummySeeded, ackSeeded bool
 	dummyOut, ackOut       int // our packets pending in the shared low-prio queues
 
+	// Free lists for the hot-path bookkeeping objects: Tx-buffer entries and
+	// the seqNo cells that carry a sequence number into a typed event.
+	txFree   *txEntry
+	cellFree *seqCell
+
 	// forwardHook observes packets at the instant they are forwarded
 	// onward, before header stripping. Tests use it to check ordering
 	// invariants at the protocol boundary.
@@ -64,18 +69,48 @@ type Instance struct {
 // txEntry is one buffered protected packet circulating in the sender's
 // recirculation-based Tx buffer (Appendix A.2). The recirculation itself is
 // modeled analytically: the entry can be acted upon (retransmitted or
-// dropped) only at loop-completion boundaries.
+// dropped) only at loop-completion boundaries. Entries recycle through a
+// per-Instance free list; seq and pendLoops let the loop-boundary events be
+// scheduled in the typed (Instance, entry) form without a closure.
 type txEntry struct {
-	pkt      *simnet.Packet
-	insertAt simtime.Time
-	loop     simtime.Duration
-	released bool
-	retxReq  bool // reTxReqs bit set for this seqNo
+	pkt       *simnet.Packet
+	seq       seqnum.Seq
+	insertAt  simtime.Time
+	loop      simtime.Duration
+	released  bool     // claimed: a flush/retransmit event owns this entry
+	retxReq   bool     // reTxReqs bit set for this seqNo
+	pendLoops uint64   // loops to account when the pending event fires
+	next      *txEntry // free-list link
 }
 
-// lossRecord tracks one missing sequence number at the receiver.
+// lossRecord tracks one missing sequence number at the receiver. Stored by
+// value in the missing map: Go maps reuse deleted slots, so the steady-state
+// loss path never allocates for bookkeeping.
 type lossRecord struct {
 	detectedAt simtime.Time
+}
+
+// seqCell carries one sequence number into a typed event (boxing a seqnum
+// value in an interface would allocate; a pooled cell does not).
+type seqCell struct {
+	v    seqnum.Seq
+	next *seqCell
+}
+
+func (g *Instance) newCell(v seqnum.Seq) *seqCell {
+	c := g.cellFree
+	if c == nil {
+		return &seqCell{v: v}
+	}
+	g.cellFree = c.next
+	c.v = v
+	c.next = nil
+	return c
+}
+
+func (g *Instance) freeCell(c *seqCell) {
+	c.next = g.cellFree
+	g.cellFree = c
 }
 
 // Protect creates a LinkGuardian instance for the direction transmitted by
@@ -101,7 +136,7 @@ func Protect(sim *simnet.Sim, sendIfc *simnet.Ifc, cfg Config) *Instance {
 		sendIfc: sendIfc,
 		recvIfc: sendIfc.Peer(),
 		txBuf:   map[seqnum.Seq]*txEntry{},
-		missing: map[seqnum.Seq]*lossRecord{},
+		missing: map[seqnum.Seq]lossRecord{},
 		copies:  cfg.Copies(),
 	}
 	if cfg.Mode == Ordered {
@@ -173,8 +208,8 @@ func (g *Instance) Disable() {
 	}
 	g.enabled = false
 	g.draining = true
-	for seq, e := range g.txBuf {
-		g.releaseEntry(seq, e, g.sim.Now())
+	for _, e := range g.txBuf {
+		g.releaseEntry(e, g.sim.Now())
 	}
 	if g.paused {
 		g.sendPFC(simnet.KindResume)
@@ -195,13 +230,13 @@ func (g *Instance) installHooks() {
 	// Piggyback the cumulative ACK on reverse-direction normal traffic,
 	// stamped at wire time (§3.1).
 	chainDequeue(g.recvIfc.Port.Q(simnet.PrioNormal), func(pkt *simnet.Packet) {
-		if !g.enabled || pkt.Kind != simnet.KindData || pkt.LGAck != nil {
+		if !g.enabled || pkt.Kind != simnet.KindData || pkt.LGAck.Present {
 			// One piggybacked ACK per packet: under per-class protection
 			// the first instance wins and the other channel relies on its
 			// explicit-ACK stream.
 			return
 		}
-		pkt.LGAck = &simnet.LGAck{LatestRx: g.ackView, Chan: g.cfg.Channel, Valid: true}
+		pkt.LGAck = simnet.LGAck{Present: true, Valid: true, LatestRx: g.ackView, Chan: g.cfg.Channel}
 		pkt.Size += simnet.LGHeaderBytes
 		g.M.AcksPiggybacked++
 	})
@@ -294,4 +329,9 @@ func (g *Instance) quantize(t simtime.Time) simtime.Time {
 // atQuantized schedules fn at the timer tick at or after now+d.
 func (g *Instance) atQuantized(d simtime.Duration, fn func()) {
 	g.sim.At(g.quantize(g.sim.Now().Add(d)), fn)
+}
+
+// atQuantizedCall is the typed, allocation-free counterpart of atQuantized.
+func (g *Instance) atQuantizedCall(d simtime.Duration, fn func(a0, a1 any), a0, a1 any) {
+	g.sim.AtCall(g.quantize(g.sim.Now().Add(d)), fn, a0, a1)
 }

@@ -20,6 +20,7 @@ type Metrics struct {
 	TxBufDrops   uint64 // packets not buffered because the cap was hit
 	SenderLoops  uint64 // Tx-buffer recirculation loop count (Table 4)
 	AcksReceived uint64
+	AcksStale    uint64 // ACKs discarded for acking beyond lastTx (stale epoch)
 
 	// Receiver side.
 	Delivered       uint64 // protected packets forwarded onward
@@ -73,6 +74,7 @@ func (m *Metrics) Register(r *obs.Registry, prefix string) {
 		{"tx_buf_drops", &m.TxBufDrops},
 		{"sender_loops", &m.SenderLoops},
 		{"acks_received", &m.AcksReceived},
+		{"acks_stale", &m.AcksStale},
 		{"delivered", &m.Delivered},
 		{"duplicates", &m.Duplicates},
 		{"loss_events", &m.LossEvents},

@@ -52,7 +52,7 @@ func runProperty(seed int64, mode Mode, burst int, pData, pRetx float64) propOut
 
 	dropRng := rand.New(rand.NewSource(seed * 7919))
 	tb.link.DropFn = func(p *simnet.Packet, f *simnet.Ifc) bool {
-		if f != tb.link.A() || p.LG == nil || p.LG.Dummy {
+		if f != tb.link.A() || !p.LG.Present || p.LG.Dummy {
 			return false
 		}
 		if p.LG.Retx {

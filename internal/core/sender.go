@@ -13,7 +13,7 @@ import (
 // so the Tx buffer holds a packet only for the ACK round trip, not for time
 // spent in the egress queue.
 func (g *Instance) stampAtWire(pkt *simnet.Packet) {
-	if !g.enabled || pkt.Kind != simnet.KindData || pkt.LG != nil {
+	if !g.enabled || pkt.Kind != simnet.KindData || pkt.LG.Present {
 		return
 	}
 	if g.cfg.ClassMatch != nil && !g.cfg.ClassMatch(pkt) {
@@ -21,7 +21,7 @@ func (g *Instance) stampAtWire(pkt *simnet.Packet) {
 	}
 	seq := g.nextSeq
 	g.nextSeq = seq.Next()
-	pkt.LG = &simnet.LGData{Seq: seq, Chan: g.cfg.Channel}
+	pkt.LG = simnet.LGData{Present: true, Seq: seq, Chan: g.cfg.Channel}
 	pkt.Size += simnet.LGHeaderBytes
 	g.lastTx = seq
 	g.buffer(pkt, seq)
@@ -34,6 +34,24 @@ func (g *Instance) loopTime(size int) simtime.Duration {
 	return g.cfg.PipelineLatency + g.cfg.RecircRate.Serialize(simtime.WireBytes(size))
 }
 
+// newTxEntry draws a zeroed entry from the instance's free list.
+func (g *Instance) newTxEntry() *txEntry {
+	e := g.txFree
+	if e == nil {
+		return &txEntry{}
+	}
+	g.txFree = e.next
+	*e = txEntry{}
+	return e
+}
+
+// freeTxEntry recycles a retired entry. The caller must have released the
+// entry's buffered packet (or transferred its ownership) first.
+func (g *Instance) freeTxEntry(e *txEntry) {
+	*e = txEntry{next: g.txFree}
+	g.txFree = e
+}
+
 // buffer places a copy of a protected packet into the recirculating Tx
 // buffer (egress mirroring, Appendix A.2). If the recirculation buffer cap
 // is reached the copy is not stored; the packet is then unprotected.
@@ -42,11 +60,11 @@ func (g *Instance) buffer(pkt *simnet.Packet, seq seqnum.Seq) {
 		g.M.TxBufDrops++
 		return
 	}
-	e := &txEntry{
-		pkt:      pkt.Clone(g.sim),
-		insertAt: g.sim.Now(),
-		loop:     g.loopTime(pkt.Size),
-	}
+	e := g.newTxEntry()
+	e.pkt = pkt.Clone(g.sim)
+	e.seq = seq
+	e.insertAt = g.sim.Now()
+	e.loop = g.loopTime(pkt.Size)
 	g.txBuf[seq] = e
 	g.M.TxBufBytes += pkt.Size
 	if g.M.TxBufBytes > g.M.TxBufPeak {
@@ -82,109 +100,150 @@ func (e *txEntry) nextLoopBoundary(t simtime.Time) (simtime.Time, uint64) {
 	return e.insertAt.Add(simtime.Duration(k * int64(e.loop))), uint64(k)
 }
 
-// releaseEntry removes a buffered packet, accounting its recirculation
-// loops.
-func (g *Instance) releaseEntry(seq seqnum.Seq, e *txEntry, at simtime.Time) {
+// retire accounts a claimed entry at its loop boundary, drops it from the
+// Tx buffer and returns both the buffered packet and the entry itself to
+// their free lists.
+func (g *Instance) retire(e *txEntry) {
+	g.M.SenderLoops += e.pendLoops
+	g.M.TxBufBytes -= e.pkt.Size
+	delete(g.txBuf, e.seq)
+	g.sim.Release(e.pkt)
+	g.freeTxEntry(e)
+}
+
+// releaseEntry immediately retires a buffered packet that no scheduled
+// event has claimed — the Disable drain path. Claimed entries (released
+// already set) are left to their pending flush/retransmit event.
+func (g *Instance) releaseEntry(e *txEntry, at simtime.Time) {
 	if e.released {
 		return
 	}
 	e.released = true
 	_, loops := e.nextLoopBoundary(at)
-	g.M.SenderLoops += loops
-	g.M.TxBufBytes -= e.pkt.Size
-	delete(g.txBuf, seq)
+	e.pendLoops = loops
+	g.retire(e)
 }
 
 // onReverse runs at the sender's ingress for packets arriving from the
 // receiver switch: it consumes explicit ACKs and loss notifications, strips
 // piggybacked ACK headers, and lets regular reverse traffic continue into
-// the switch pipeline.
+// the switch pipeline. Consumed control frames are terminal and return to
+// the packet free list.
 func (g *Instance) onReverse(pkt *simnet.Packet) bool {
 	if !g.enabled {
 		return false
 	}
 	switch pkt.Kind {
 	case simnet.KindLGAck:
-		if pkt.LGAck == nil || pkt.LGAck.Chan != g.cfg.Channel {
+		if !pkt.LGAck.Present || pkt.LGAck.Chan != g.cfg.Channel {
 			return false // another channel's ACK
 		}
 		if pkt.LGAck.Valid {
 			g.handleAck(pkt.LGAck.LatestRx)
 		}
+		g.sim.Release(pkt)
 		return true
 	case simnet.KindLossNotif:
-		if pkt.Notif == nil || pkt.Notif.Chan != g.cfg.Channel {
+		if !pkt.Notif.Present || pkt.Notif.Chan != g.cfg.Channel {
 			return false
 		}
-		g.handleNotif(pkt.Notif)
+		g.handleNotif(&pkt.Notif)
+		g.sim.Release(pkt)
 		return true
 	}
-	if pkt.LGAck != nil && pkt.LGAck.Valid && pkt.LGAck.Chan == g.cfg.Channel {
+	if pkt.LGAck.Present && pkt.LGAck.Valid && pkt.LGAck.Chan == g.cfg.Channel {
 		g.handleAck(pkt.LGAck.LatestRx)
-		pkt.LGAck = nil
+		pkt.LGAck = simnet.LGAck{}
 		pkt.Size -= simnet.LGHeaderBytes
 	}
 	return false
 }
 
+// txFlushFire is the typed loop-boundary drop event for an acknowledged
+// buffered packet: a0 is the Instance, a1 the claimed txEntry.
+func txFlushFire(a0, a1 any) {
+	a0.(*Instance).retire(a1.(*txEntry))
+}
+
 // handleAck advances the sender's copy of latestRxSeqNo and schedules the
 // drop of successfully delivered buffered packets at their next loop
 // boundary (Figure 18: seqNo <= latestRxSeqNo and no retransmission
-// requested → drop).
+// requested → drop). Sequence numbers are stamped in increasing order and
+// the ACK is cumulative, so only the newly covered range (senderLatestRx,
+// latestRx] can hold droppable entries — the walk is per acked seqNo (the
+// hardware's per-seqNo register lookup), not per outstanding entry.
 func (g *Instance) handleAck(latestRx seqnum.Seq) {
 	g.M.AcksReceived++
 	if seqnum.LessEq(latestRx, g.senderLatestRx) {
 		return
 	}
+	// The receiver cannot have received a seqNo beyond the last one
+	// transmitted, so an ACK ahead of lastTx is stale state from a previous
+	// sequence epoch — e.g. a control frame stamped before a SeedSequence
+	// re-base and still in flight. Trusting it would advance the watermark
+	// past packets not yet sent, permanently stranding their Tx-buffer
+	// entries behind the cumulative-ACK frontier.
+	if seqnum.Less(g.lastTx, latestRx) {
+		g.M.AcksStale++
+		return
+	}
+	prev := g.senderLatestRx
 	g.senderLatestRx = latestRx
 	now := g.sim.Now()
-	for seq, e := range g.txBuf {
-		if e.released || e.retxReq || seqnum.Less(latestRx, seq) {
+	n := seqnum.Distance(prev, latestRx)
+	for i := 1; i <= n; i++ {
+		e, ok := g.txBuf[prev.Add(i)]
+		if !ok || e.released || e.retxReq {
 			continue
 		}
 		e.released = true // claim now; account at the loop boundary
-		seq, e := seq, e
 		at, loops := g.releaseBoundary(e, now)
-		g.sim.At(at, func() {
-			g.M.SenderLoops += loops
-			g.M.TxBufBytes -= e.pkt.Size
-			delete(g.txBuf, seq)
-		})
+		e.pendLoops = loops
+		g.sim.AtCall(at, txFlushFire, g, e)
 	}
+}
+
+// txRetxFire is the typed loop-boundary retransmission event: a0 is the
+// Instance, a1 the claimed txEntry. N high-priority copies go out, then the
+// entry retires.
+func txRetxFire(a0, a1 any) {
+	g := a0.(*Instance)
+	e := a1.(*txEntry)
+	g.M.Retransmits++
+	for i := 0; i < g.copies; i++ {
+		c := e.pkt.Clone(g.sim)
+		c.LG.Retx = true
+		c.Prio = simnet.PrioHigh
+		g.M.RetxCopies++
+		g.sendIfc.EnqueueDirect(c)
+	}
+	g.retire(e)
 }
 
 // handleNotif processes a loss notification: for every missing seqNo whose
 // buffered copy exists, N copies are retransmitted through the strict
 // high-priority queue at the entry's next recirculation-loop boundary
-// (§3.4, Appendix A.2).
+// (§3.4, Appendix A.2). The notification header is read synchronously; the
+// caller may release the carrying packet as soon as this returns.
 func (g *Instance) handleNotif(n *simnet.LossNotif) {
 	now := g.sim.Now()
-	for _, seq := range n.Missing {
+	for _, seq := range n.MissingSeqs() {
 		e, ok := g.txBuf[seq]
-		if !ok || e.released || e.retxReq {
+		if !ok || e.released {
 			continue
 		}
+		e.released = true // claimed by the retransmission event
 		e.retxReq = true
-		seq, e := seq, e
 		at, loops := g.releaseBoundary(e, now)
-		g.sim.At(at, func() {
-			g.M.Retransmits++
-			for i := 0; i < g.copies; i++ {
-				c := e.pkt.Clone(g.sim)
-				c.LG.Retx = true
-				c.Prio = simnet.PrioHigh
-				g.M.RetxCopies++
-				g.sendIfc.EnqueueDirect(c)
-			}
-			e.released = true
-			g.M.SenderLoops += loops
-			g.M.TxBufBytes -= e.pkt.Size
-			delete(g.txBuf, seq)
-		})
+		e.pendLoops = loops
+		g.sim.AtCall(at, txRetxFire, g, e)
 	}
 	// The notification also carries the post-gap latestRxSeqNo.
 	g.handleAck(n.LatestRx)
 }
+
+// replenishDummiesFire is the typed dummy-pacing event.
+func replenishDummiesFire(a0, _ any) { a0.(*Instance).replenishDummies() }
 
 // seedDummies bootstraps the self-replenishing dummy-packet queue (§3.2):
 // a strictly lowest-priority queue whose packets carry the last transmitted
@@ -196,14 +255,14 @@ func (g *Instance) seedDummies() {
 	if !g.dummySeeded {
 		g.dummySeeded = true
 		chainDequeue(q, func(pkt *simnet.Packet) {
-			if pkt.LG == nil || !pkt.LG.Dummy || pkt.LG.Chan != g.cfg.Channel {
+			if !pkt.LG.Present || !pkt.LG.Dummy || pkt.LG.Chan != g.cfg.Channel {
 				return // another channel's dummy on the shared queue
 			}
 			// Stamp the freshest lastTx at wire time.
 			pkt.LG.LastTx = g.lastTx
 			g.dummyOut--
 			g.M.DummiesSent++
-			g.sim.After(g.cfg.DummyInterval, g.replenishDummies)
+			g.sim.AfterCall(g.cfg.DummyInterval, replenishDummiesFire, g, nil)
 		})
 	}
 	g.replenishDummies()
@@ -219,12 +278,9 @@ func (g *Instance) replenishDummies() {
 		return
 	}
 	for i := 0; i < g.cfg.DummyCopies; i++ {
-		d := &simnet.Packet{
-			Kind: simnet.KindDummy,
-			Size: simtime.MinFrame,
-			Prio: simnet.PrioLow,
-			LG:   &simnet.LGData{Dummy: true, Chan: g.cfg.Channel},
-		}
+		d := g.sim.NewPacket(simnet.KindDummy, simtime.MinFrame, "")
+		d.Prio = simnet.PrioLow
+		d.LG = simnet.LGData{Present: true, Dummy: true, Chan: g.cfg.Channel}
 		g.dummyOut++
 		g.sendIfc.EnqueueDirect(d)
 	}

@@ -14,6 +14,15 @@
 // Callers hold Timer handles rather than raw event pointers: a generation
 // counter makes handles to fired, canceled, or recycled events permanently
 // inert, so the free list can reuse memory without use-after-fire hazards.
+//
+// Two scheduling forms are offered. Schedule/After take a plain closure and
+// are right for cold paths: the closure itself is a caller-side heap
+// allocation. ScheduleCall/AfterCall take a two-word payload — a static
+// func(a0, a1 any) plus two argument cells stored inline in the recycled
+// event struct — so hot paths (one event per frame transmission, one per
+// link delivery) schedule bound work with zero allocations, provided the
+// arguments are pointers (interface conversion of a pointer does not
+// allocate).
 package eventq
 
 import (
@@ -24,12 +33,21 @@ import (
 // event is one heap entry. Instances are owned by the queue and recycled
 // through its free list; external code only ever sees Timer handles.
 type event struct {
-	at   int64 // firing time, ns
-	seq  uint64
-	fn   func()
-	gen  uint64 // bumped on fire/cancel, invalidating outstanding Timers
-	next *event // free-list link
+	at  int64 // firing time, ns
+	seq uint64
+	fn  func()
+	// Typed form (ScheduleCall): fn2 with its two inline argument cells.
+	// Exactly one of fn and fn2 is set on a live event; both nil marks a
+	// fired or lazily-canceled entry awaiting recycling.
+	fn2    func(a0, a1 any)
+	a0, a1 any
+	gen    uint64 // bumped on fire/cancel, invalidating outstanding Timers
+	next   *event // free-list link
 }
+
+// dead reports whether the event has fired or been canceled and is only
+// waiting to surface for recycling.
+func (e *event) dead() bool { return e.fn == nil && e.fn2 == nil }
 
 // Timer is a handle to a scheduled event, returned by Schedule and After.
 // The zero Timer is valid and behaves as already-fired. Timers are values:
@@ -84,6 +102,43 @@ func (q *Queue) Fired() uint64 { return q.nfired }
 // past (before Now) panics: it always indicates a logic error in the caller,
 // and silently reordering time would corrupt the simulation.
 func (q *Queue) Schedule(at int64, fn func()) Timer {
+	e := q.alloc(at)
+	e.fn = fn
+	return Timer{e: e, gen: e.gen}
+}
+
+// ScheduleCall enqueues fn(a0, a1) to run at absolute time at (ns). This is
+// the zero-allocation form: fn should be a static function (not a closure
+// built at the call site) and a0/a1 pointers, so the only state is the two
+// inline cells of the recycled event struct. Ordering is identical to
+// Schedule: both draw from the same tie-breaking sequence.
+func (q *Queue) ScheduleCall(at int64, fn func(a0, a1 any), a0, a1 any) Timer {
+	e := q.alloc(at)
+	e.fn2 = fn
+	e.a0, e.a1 = a0, a1
+	return Timer{e: e, gen: e.gen}
+}
+
+// After enqueues fn to run d nanoseconds after Now.
+func (q *Queue) After(d int64, fn func()) Timer {
+	if d < 0 {
+		panic("eventq: negative delay")
+	}
+	return q.Schedule(q.now+d, fn)
+}
+
+// AfterCall enqueues fn(a0, a1) to run d nanoseconds after Now; the typed,
+// zero-allocation counterpart of After.
+func (q *Queue) AfterCall(d int64, fn func(a0, a1 any), a0, a1 any) Timer {
+	if d < 0 {
+		panic("eventq: negative delay")
+	}
+	return q.ScheduleCall(q.now+d, fn, a0, a1)
+}
+
+// alloc pops a recycled event (or allocates one) and enters it into the
+// heap at time at, with the next tie-breaking sequence number.
+func (q *Queue) alloc(at int64) *event {
 	if at < q.now {
 		panic("eventq: scheduling into the past")
 	}
@@ -96,20 +151,11 @@ func (q *Queue) Schedule(at int64, fn func()) Timer {
 	}
 	e.at = at
 	e.seq = q.nexts
-	e.fn = fn
 	q.nexts++
 	q.live++
 	q.h = append(q.h, e)
 	q.siftUp(len(q.h) - 1)
-	return Timer{e: e, gen: e.gen}
-}
-
-// After enqueues fn to run d nanoseconds after Now.
-func (q *Queue) After(d int64, fn func()) Timer {
-	if d < 0 {
-		panic("eventq: negative delay")
-	}
-	return q.Schedule(q.now+d, fn)
+	return e
 }
 
 // Cancel removes a pending event. Canceling a fired or already-canceled
@@ -123,6 +169,8 @@ func (q *Queue) Cancel(t Timer) {
 	}
 	e.gen++
 	e.fn = nil
+	e.fn2 = nil
+	e.a0, e.a1 = nil, nil
 	q.live--
 }
 
@@ -132,20 +180,26 @@ func (q *Queue) Step() bool {
 	for len(q.h) > 0 {
 		e := q.h[0]
 		q.popRoot()
-		if e.fn == nil { // lazily canceled; reclaim silently
+		if e.dead() { // lazily canceled; reclaim silently
 			q.recycle(e)
 			continue
 		}
 		q.now = e.at
-		fn := e.fn
+		fn, fn2, a0, a1 := e.fn, e.fn2, e.a0, e.a1
 		e.fn = nil
+		e.fn2 = nil
+		e.a0, e.a1 = nil, nil
 		e.gen++
 		q.live--
 		q.nfired++
 		// Recycle before dispatch: fn may Schedule and immediately reuse
 		// this slot, which is safe now that the generation has advanced.
 		q.recycle(e)
-		fn()
+		if fn2 != nil {
+			fn2(a0, a1)
+		} else {
+			fn()
+		}
 		return true
 	}
 	return false
@@ -199,7 +253,7 @@ func (q *Queue) Diagnostics(k int) string { return q.diagnose(k) }
 func (q *Queue) diagnose(k int) string {
 	next := make([]int64, 0, len(q.h))
 	for _, e := range q.h {
-		if e.fn != nil {
+		if !e.dead() {
 			next = append(next, e.at)
 		}
 	}
@@ -214,7 +268,7 @@ func (q *Queue) diagnose(k int) string {
 // purgeCanceled pops lazily-canceled entries off the heap root so that
 // q.h[0], if present, is a live event.
 func (q *Queue) purgeCanceled() {
-	for len(q.h) > 0 && q.h[0].fn == nil {
+	for len(q.h) > 0 && q.h[0].dead() {
 		e := q.h[0]
 		q.popRoot()
 		q.recycle(e)

@@ -404,3 +404,84 @@ func TestDiagnosticsExported(t *testing.T) {
 		}
 	}
 }
+
+// The typed two-word form must interleave with closure events in exact
+// schedule order (both draw from the same tie-breaking sequence), deliver
+// its operand cells, and report progress via Fired.
+func TestTypedCallEventsOrderAndOperands(t *testing.T) {
+	var q Queue
+	var got []string
+	type op struct{ name string }
+	rec := func(a0, _ any) { got = append(got, a0.(*op).name) }
+	q.ScheduleCall(10, rec, &op{"typed@10a"}, nil)
+	q.Schedule(10, func() { got = append(got, "closure@10") })
+	q.ScheduleCall(10, rec, &op{"typed@10b"}, nil)
+	q.AfterCall(5, rec, &op{"typed@5"}, nil)
+	q.Drain(0)
+	want := []string{"typed@5", "typed@10a", "closure@10", "typed@10b"}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+	if q.Fired() != 4 {
+		t.Fatalf("Fired() = %d, want 4", q.Fired())
+	}
+}
+
+// AfterCall shares After's refusal of negative delays.
+func TestNegativeAfterCallPanics(t *testing.T) {
+	var q Queue
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AfterCall(-1) did not panic")
+		}
+	}()
+	q.AfterCall(-1, func(a0, a1 any) {}, nil, nil)
+}
+
+// Timer.At exposes the pending deadline and zeroes once the event fires or
+// is canceled — the introspection the PFC pause-expiry bookkeeping relies on.
+func TestTimerAt(t *testing.T) {
+	var q Queue
+	fn := func(a0, a1 any) {}
+	tm := q.ScheduleCall(25, fn, nil, nil)
+	if tm.At() != 25 {
+		t.Fatalf("pending At() = %d, want 25", tm.At())
+	}
+	q.Cancel(tm)
+	if tm.At() != 0 {
+		t.Fatalf("canceled At() = %d, want 0", tm.At())
+	}
+	tm2 := q.ScheduleCall(30, fn, nil, nil)
+	q.Drain(0)
+	if tm2.At() != 0 {
+		t.Fatalf("fired At() = %d, want 0", tm2.At())
+	}
+}
+
+// The typed form is the zero-allocation one: pointer operands convert to
+// interface cells without heap escape, and event structs recycle.
+func TestScheduleCallZeroAllocsSteadyState(t *testing.T) {
+	var q Queue
+	type payload struct{ n int }
+	p := &payload{}
+	fn := func(a0, _ any) { a0.(*payload).n++ }
+	for i := 0; i < 64; i++ {
+		q.ScheduleCall(q.Now()+int64(i), fn, p, nil)
+	}
+	q.Drain(0)
+	allocs := testing.AllocsPerRun(10000, func() {
+		q.ScheduleCall(q.Now()+10, fn, p, nil)
+		q.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("ScheduleCall+Step allocates %.1f objects/op in steady state, want 0", allocs)
+	}
+	if p.n == 0 {
+		t.Fatal("typed handler never ran")
+	}
+}

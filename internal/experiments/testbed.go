@@ -60,10 +60,11 @@ func (tb *Testbed) SetLoss(p float64) {
 // it injects MTU-sized packets directly at sw2's protected egress at
 // exactly line rate.
 type Generator struct {
-	tb      *Testbed
-	size    int
-	sent    uint64
-	running bool
+	tb       *Testbed
+	size     int
+	interval simtime.Duration
+	sent     uint64
+	running  bool
 }
 
 // StartGenerator begins line-rate injection of frameBytes-sized frames.
@@ -79,20 +80,24 @@ func (tb *Testbed) StartGeneratorAt(frameBytes int, frac float64) *Generator {
 		frac = 1
 	}
 	g := &Generator{tb: tb, size: frameBytes, running: true}
-	interval := simtime.Duration(float64(tb.rate.Serialize(simtime.WireBytes(frameBytes))) / frac)
-	var tick func()
-	tick = func() {
-		if !g.running {
-			return
-		}
-		pkt := tb.Sim.NewPacket(simnet.KindData, g.size, "h2")
-		pkt.FlowID = -1
-		tb.Link.A().Send(pkt)
-		g.sent++
-		tb.Sim.After(interval, tick)
-	}
-	tb.Sim.After(0, tick)
+	g.interval = simtime.Duration(float64(tb.rate.Serialize(simtime.WireBytes(frameBytes))) / frac)
+	tb.Sim.AfterCall(0, genTick, g, nil)
 	return g
+}
+
+// genTick is the typed per-frame injection event: packets draw from the
+// Sim's free list and the re-arm goes through the pooled event form, so a
+// running generator is allocation-free in steady state.
+func genTick(a0, _ any) {
+	g := a0.(*Generator)
+	if !g.running {
+		return
+	}
+	pkt := g.tb.Sim.NewPacket(simnet.KindData, g.size, "h2")
+	pkt.FlowID = -1
+	g.tb.Link.A().Send(pkt)
+	g.sent++
+	g.tb.Sim.AfterCall(g.interval, genTick, g, nil)
 }
 
 // Stop halts the generator.
@@ -102,12 +107,15 @@ func (g *Generator) Stop() { g.running = false }
 func (g *Generator) Sent() uint64 { return g.sent }
 
 // CountReceived attaches a sink on h2 counting received data packets and
-// payload bytes.
+// payload bytes. The sink retains nothing, so the host recycles each packet
+// to the free list after counting — closing the allocation-free loop from
+// generator to sink.
 func (tb *Testbed) CountReceived() (pkts *uint64, bytes *uint64) {
 	var p, b uint64
 	tb.H2.OnReceive = func(pkt *simnet.Packet) {
 		p++
 		b += uint64(pkt.Size)
 	}
+	tb.H2.Recycle = true
 	return &p, &b
 }

@@ -73,11 +73,13 @@ func (i *Ifc) Send(pkt *Packet) bool {
 func (i *Ifc) EnqueueDirect(pkt *Packet) bool { return i.Port.Enqueue(pkt) }
 
 // receive runs the ingress MAC: counters, corruption drop, PFC absorption,
-// hook dispatch, then normal node processing.
+// hook dispatch, then normal node processing. Corruption drops and absorbed
+// PFC frames are terminal: the packets go back to the free list.
 func (i *Ifc) receive(pkt *Packet, corrupted bool) {
 	i.In.RxAll++
 	if corrupted {
 		i.In.RxBad++
+		i.link.sim.Release(pkt)
 		return
 	}
 	i.In.RxOk++
@@ -89,9 +91,11 @@ func (i *Ifc) receive(pkt *Packet, corrupted bool) {
 		// quanta self-expires unless refreshed, so a corrupted resume
 		// frame can stall the queue for at most one quantum.
 		i.Port.PauseFor(pkt.PauseClass, pkt.PauseQuanta)
+		i.link.sim.Release(pkt)
 		return
 	case KindResume:
 		i.Port.Pause(pkt.PauseClass, false)
+		i.link.sim.Release(pkt)
 		return
 	}
 	if i.OnIngress != nil && i.OnIngress(pkt) {
@@ -138,9 +142,9 @@ type Link struct {
 	// that must target specific packets.
 	DropFn func(pkt *Packet, from *Ifc) bool
 
-	// onDeliver observes every frame at its delivery decision point
-	// (after the corruption verdict); installed by TapDeliver.
-	onDeliver func(pkt *Packet, from *Ifc, corrupted bool)
+	// taps observe every frame at its delivery decision point (after the
+	// corruption verdict), in installation order; installed by TapDeliver.
+	taps []func(pkt *Packet, from *Ifc, corrupted bool)
 }
 
 // A returns the interface on the first node; B the second.
@@ -182,18 +186,18 @@ func (l *Link) Down() bool { return l.down }
 
 // TapDeliver installs an observer at the link's delivery decision point:
 // fn sees every frame transmitted in either direction together with its
-// corruption verdict. Multiple taps stack in installation order.
+// corruption verdict. Taps are held in a slice and run in installation
+// order — no per-install closure nesting, no per-delivery indirection
+// chain.
 func (l *Link) TapDeliver(fn func(pkt *Packet, from *Ifc, corrupted bool)) {
-	prev := l.onDeliver
-	if prev == nil {
-		l.onDeliver = fn
-		return
-	}
-	l.onDeliver = func(pkt *Packet, from *Ifc, corrupted bool) {
-		prev(pkt, from, corrupted)
-		fn(pkt, from, corrupted)
-	}
+	l.taps = append(l.taps, fn)
 }
+
+// deliverOK / deliverCorrupt are the typed propagation-delay events: a0 is
+// the receiving Ifc, a1 the frame. Two static handlers encode the
+// corruption verdict, so delivery needs no closure and no extra state.
+func deliverOK(a0, a1 any)      { a0.(*Ifc).receive(a1.(*Packet), false) }
+func deliverCorrupt(a0, a1 any) { a0.(*Ifc).receive(a1.(*Packet), true) }
 
 func (l *Link) deliver(pkt *Packet, from *Ifc) {
 	to := l.b
@@ -203,10 +207,14 @@ func (l *Link) deliver(pkt *Packet, from *Ifc) {
 		model = l.lossBA
 	}
 	corrupted := l.verdict(pkt, from, model)
-	if l.onDeliver != nil {
-		l.onDeliver(pkt, from, corrupted)
+	for _, tap := range l.taps {
+		tap(pkt, from, corrupted)
 	}
-	l.sim.After(l.Delay, func() { to.receive(pkt, corrupted) })
+	if corrupted {
+		l.sim.AfterCall(l.Delay, deliverCorrupt, to, pkt)
+	} else {
+		l.sim.AfterCall(l.Delay, deliverOK, to, pkt)
+	}
 }
 
 // verdict decides whether the frame is corrupted: flap state first, then

@@ -49,13 +49,22 @@ const (
 // era bit and packet-type metadata packed into 3 bytes (§3.5).
 const LGHeaderBytes = 3
 
+// MaxNotifMissing bounds the missing seqNos one loss notification carries.
+// The §3.5 consecutive-loss provisioning bounds the requested run (the
+// reTxReqs registers default to 5, Figure 20 sizes 8 registers for six
+// nines at 5% loss), so the header holds the run inline: a notification,
+// like every other header, costs no allocation on the hot path.
+const MaxNotifMissing = 8
+
 // LGData is the LinkGuardian data header the sender switch prepends to each
-// protected packet (and to dummy packets).
+// protected packet (and to dummy packets). It is carried inline in the
+// Packet; Present distinguishes a stamped header from the zero value.
 type LGData struct {
-	Seq   seqnum.Seq
-	Chan  uint8 // protecting instance's channel (per-class protection, §5)
-	Retx  bool  // retransmitted copy, not the original
-	Dummy bool  // dummy packet: carries LastTx, consumes no seqNo
+	Seq     seqnum.Seq
+	Chan    uint8 // protecting instance's channel (per-class protection, §5)
+	Present bool  // header stamped on this packet
+	Retx    bool  // retransmitted copy, not the original
+	Dummy   bool  // dummy packet: carries LastTx, consumes no seqNo
 	// LastTx is meaningful only on dummy packets: the seqNo of the last
 	// protected packet actually transmitted, letting the receiver detect a
 	// tail loss without a new sequence number.
@@ -64,25 +73,39 @@ type LGData struct {
 
 // LGAck is the LinkGuardian ACK header: the receiver's cumulative
 // latestRxSeqNo, piggybacked on reverse traffic or carried by an explicit
-// ACK packet.
+// ACK packet. Present marks the header as carried on the packet; Valid
+// marks the ACK value as stamped (an explicit-ACK packet waits in its
+// self-replenishing queue with Present set and Valid clear until wire-time
+// stamping fills in LatestRx).
 type LGAck struct {
 	LatestRx seqnum.Seq
 	Chan     uint8
+	Present  bool
 	Valid    bool
 }
 
 // LossNotif is the payload of a loss-notification packet: the missing
-// sequence numbers (up to the consecutive-loss provisioning of §3.5) plus
-// the post-gap latestRxSeqNo.
+// sequence numbers (bounded inline by the consecutive-loss provisioning of
+// §3.5) plus the post-gap latestRxSeqNo.
 type LossNotif struct {
-	Missing  []seqnum.Seq
+	Missing  [MaxNotifMissing]seqnum.Seq
+	Count    int // live prefix of Missing
 	LatestRx seqnum.Seq
 	Chan     uint8
+	Present  bool
 }
+
+// MissingSeqs returns the live missing seqNos (aliasing the inline array).
+func (n *LossNotif) MissingSeqs() []seqnum.Seq { return n.Missing[:n.Count] }
 
 // Packet is the unit of simulation. Size is the L2 frame length in bytes
 // including all headers; wire-time overheads (preamble, IFG, minimum frame)
 // are applied by the transmitter.
+//
+// Packets are recycled through a per-Sim free list: terminal points hand
+// exhausted packets back with Sim.Release and allocation points draw from
+// the pool (NewPacket, NewCtrlPacket, Clone). See DESIGN.md §9 for the
+// ownership discipline.
 type Packet struct {
 	ID   uint64
 	Kind Kind
@@ -101,10 +124,11 @@ type Packet struct {
 	// pause holds until an explicit resume.
 	PauseQuanta simtime.Duration
 
-	// LinkGuardian headers (nil when the feature is inactive on the path).
-	LG    *LGData
-	LGAck *LGAck
-	Notif *LossNotif
+	// LinkGuardian headers, carried inline (Present clear when the feature
+	// is inactive on the path) so stamping and Clone never allocate.
+	LG    LGData
+	LGAck LGAck
+	Notif LossNotif
 
 	// FlowID routes the packet and demultiplexes it at hosts.
 	FlowID int
@@ -121,31 +145,79 @@ type Packet struct {
 	// RxBuffered marks a packet currently held in the receiver-side
 	// reordering buffer (Algorithm 1's mark_pkt_as_rx_buffered).
 	RxBuffered bool
+
+	// Pool bookkeeping. gen is bumped every Release, so any observation of
+	// a packet across a Release sees the generation change — the chaos
+	// checker's use-after-release detector keys on it. pooled marks a
+	// packet currently sitting in the free list.
+	gen    uint32
+	pooled bool
+	next   *Packet // free-list link
 }
 
-// Clone returns a copy of the packet with a fresh ID and deep-copied
-// LinkGuardian headers — used by egress mirroring and multicast. The
-// transport payload is shared: the network never mutates it.
+// PoolGen returns the packet's pool generation: the number of times this
+// Packet instance has been released back to its Sim's free list.
+func (p *Packet) PoolGen() uint32 { return p.gen }
+
+// Released reports whether the packet is currently in the free list. A
+// released packet observed anywhere in the dataplane is a use-after-release
+// bug; the chaos invariant checker asserts this never happens.
+func (p *Packet) Released() bool { return p.pooled }
+
+// Clone returns a copy of the packet with a fresh ID. The LinkGuardian
+// headers are inline values, so the copy is one struct assignment — used by
+// egress mirroring and multicast on the hot path, it draws from the packet
+// pool and performs no allocation in steady state. The transport payload is
+// shared: the network never mutates it.
 func (p *Packet) Clone(s *Sim) *Packet {
-	c := *p
+	c := s.alloc()
+	gen := c.gen
+	*c = *p
+	c.gen = gen
+	c.pooled = false
+	c.next = nil
 	c.ID = s.pktID()
-	if p.LG != nil {
-		lg := *p.LG
-		c.LG = &lg
-	}
-	if p.LGAck != nil {
-		a := *p.LGAck
-		c.LGAck = &a
-	}
-	if p.Notif != nil {
-		n := *p.Notif
-		n.Missing = append([]seqnum.Seq(nil), p.Notif.Missing...)
-		c.Notif = &n
-	}
-	return &c
+	return c
 }
 
-// NewPacket allocates a data packet of the given size destined to a host.
+// NewPacket allocates a data packet of the given size destined to a host,
+// drawing from the Sim's packet free list.
 func (s *Sim) NewPacket(kind Kind, size int, toHost string) *Packet {
-	return &Packet{ID: s.pktID(), Kind: kind, Size: size, Prio: PrioNormal, ToHost: toHost}
+	p := s.alloc()
+	p.ID = s.pktID()
+	p.Kind = kind
+	p.Size = size
+	p.Prio = PrioNormal
+	p.ToHost = toHost
+	return p
+}
+
+// alloc pops a zeroed packet off the free list (its generation counter
+// survives recycling), or heap-allocates when the pool is dry.
+func (s *Sim) alloc() *Packet {
+	p := s.pktFree
+	if p == nil {
+		return &Packet{}
+	}
+	s.pktFree = p.next
+	p.next = nil
+	p.pooled = false
+	return p
+}
+
+// Release hands an exhausted packet back to the free list. Only terminal
+// points may call it — the points where the dataplane is done with the
+// packet and no other reference exists: the corruption drop at the
+// receiving MAC, tail drops, routeless drops, absorbed control frames
+// (PFC, explicit ACKs, loss notifications, dummies), duplicate absorption,
+// reordering-buffer overflow, Tx-buffer entry retirement, and hosts that
+// opted in via Host.Recycle. Releasing the same packet twice panics: it
+// always indicates an ownership bug, and silently recycling would corrupt
+// an unrelated future packet.
+func (s *Sim) Release(p *Packet) {
+	if p.pooled {
+		panic(fmt.Sprintf("simnet: double release of packet %d (kind %v)", p.ID, p.Kind))
+	}
+	*p = Packet{gen: p.gen + 1, pooled: true, next: s.pktFree}
+	s.pktFree = p
 }

@@ -5,6 +5,15 @@ import (
 	"linkguardian/internal/simtime"
 )
 
+// queueShrinkCap is the backing-array capacity above which a queue releases
+// its storage once a burst drains, instead of keeping the high-water-mark
+// capacity forever. It is set well above any steady-state depth — even a
+// full 256KB-class switch buffer of minimum-size frames stays under it — so
+// the release never runs on the hot path and a queue oscillating against
+// its MaxBytes cap never thrashes between shrinking and regrowing; only a
+// genuine burst pays one re-allocation on its next ramp-up.
+const queueShrinkCap = 4096
+
 // Queue is one FIFO class of an egress port. The zero value is an unbounded,
 // unpaused queue.
 type Queue struct {
@@ -58,6 +67,10 @@ func (q *Queue) Bytes() int { return q.bytes }
 // Paused reports the PFC pause state.
 func (q *Queue) Paused() bool { return q.paused }
 
+// Cap returns the capacity of the queue's backing array, for the shrink
+// regression tests.
+func (q *Queue) Cap() int { return cap(q.pkts) }
+
 func (q *Queue) push(p *Packet) bool {
 	if q.MaxBytes > 0 && q.bytes+p.Size > q.MaxBytes {
 		q.Drops++
@@ -77,7 +90,13 @@ func (q *Queue) pop() *Packet {
 	q.head++
 	q.bytes -= p.Size
 	if q.head == len(q.pkts) {
-		q.pkts = q.pkts[:0]
+		if cap(q.pkts) > queueShrinkCap {
+			// A drained burst leaves a high-water-mark array behind;
+			// release it rather than pin the peak footprint forever.
+			q.pkts = nil
+		} else {
+			q.pkts = q.pkts[:0]
+		}
 		q.head = 0
 	} else if q.head > 64 && q.head*2 > len(q.pkts) {
 		n := copy(q.pkts, q.pkts[q.head:])
@@ -86,6 +105,13 @@ func (q *Queue) pop() *Packet {
 		}
 		q.pkts = q.pkts[:n]
 		q.head = 0
+		if cap(q.pkts) > queueShrinkCap && n*4 <= cap(q.pkts) {
+			// Compaction left the oversized array mostly empty: move the
+			// survivors to a right-sized one and let the burst's peak go.
+			fresh := make([]*Packet, n, max(64, 2*n))
+			copy(fresh, q.pkts)
+			q.pkts = fresh
+		}
 	}
 	return p
 }
@@ -98,7 +124,8 @@ type Port struct {
 	Rate  simtime.Rate
 	qs    [NumPrios]Queue
 	busy  bool
-	txPkt *Packet // frame currently on the wire, nil when idle
+	txPkt *Packet          // frame currently on the wire, nil when idle
+	txDur simtime.Duration // serialization time of txPkt
 
 	// TxFrames/TxBytes count frames fully serialized onto the wire.
 	TxFrames uint64
@@ -120,7 +147,8 @@ func (p *Port) QueuedBytes() int {
 }
 
 // Enqueue places a packet on its priority class and kicks the transmitter.
-// It returns false if the class tail-dropped the packet.
+// It returns false if the class tail-dropped the packet; a dropped packet
+// is terminal and goes back to the Sim's free list.
 func (p *Port) Enqueue(pkt *Packet) bool {
 	prio := pkt.Prio
 	if prio < 0 || prio >= NumPrios {
@@ -129,6 +157,8 @@ func (p *Port) Enqueue(pkt *Packet) bool {
 	ok := p.qs[prio].push(pkt)
 	if ok {
 		p.kick()
+	} else {
+		p.sim.Release(pkt)
 	}
 	return ok
 }
@@ -150,6 +180,17 @@ func (p *Port) Pause(class int, paused bool) {
 	}
 }
 
+// pauseExpire is the typed quanta-expiry event: a0 is the Port, a1 the
+// paused Queue.
+func pauseExpire(a0, a1 any) {
+	p := a0.(*Port)
+	q := a1.(*Queue)
+	q.expiry = eventq.Timer{}
+	q.PauseExpiries++
+	q.paused = false
+	p.kick()
+}
+
 // PauseFor pauses one class for at most quanta (real PFC pause-quanta
 // semantics): the pause auto-expires unless refreshed by another pause
 // frame or lifted early by a resume. quanta <= 0 pauses indefinitely.
@@ -162,18 +203,28 @@ func (p *Port) PauseFor(class int, quanta simtime.Duration) {
 	p.sim.Cancel(q.expiry)
 	q.Pauses++
 	q.paused = true
-	q.expiry = p.sim.After(quanta, func() {
-		q.expiry = eventq.Timer{}
-		q.PauseExpiries++
-		q.paused = false
-		p.kick()
-	})
+	q.expiry = p.sim.AfterCall(quanta, pauseExpire, p, q)
 }
 
 func (p *Port) kick() {
 	if p.busy {
 		return
 	}
+	p.transmitNext()
+}
+
+// portTxDone is the typed end-of-serialization event: a0 is the Port, whose
+// txPkt/txDur fields carry the frame being completed (one frame is on the
+// wire per port at a time).
+func portTxDone(a0, _ any) {
+	p := a0.(*Port)
+	pkt, d := p.txPkt, p.txDur
+	p.busy = false
+	p.txPkt = nil
+	p.TxFrames++
+	p.TxBytes += uint64(pkt.Size)
+	p.BusyTime += d
+	p.ifc.link.deliver(pkt, p.ifc)
 	p.transmitNext()
 }
 
@@ -194,19 +245,13 @@ func (p *Port) transmitNext() {
 	}
 	if q.Replenish != nil {
 		if r := q.Replenish(); r != nil {
-			q.push(r)
+			if !q.push(r) {
+				p.sim.Release(r)
+			}
 		}
 	}
 	p.busy = true
 	p.txPkt = pkt
-	d := p.Rate.Serialize(simtime.WireBytes(pkt.Size))
-	p.sim.After(d, func() {
-		p.busy = false
-		p.txPkt = nil
-		p.TxFrames++
-		p.TxBytes += uint64(pkt.Size)
-		p.BusyTime += d
-		p.ifc.link.deliver(pkt, p.ifc)
-		p.transmitNext()
-	})
+	p.txDur = p.Rate.Serialize(simtime.WireBytes(pkt.Size))
+	p.sim.AfterCall(p.txDur, portTxDone, p, nil)
 }

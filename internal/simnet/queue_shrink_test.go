@@ -1,0 +1,71 @@
+package simnet
+
+import "testing"
+
+// A queue that absorbed a multi-thousand-packet burst must hand its
+// high-water-mark backing array back once the burst drains, instead of
+// pinning the peak footprint for the rest of the run.
+func TestQueueShrinksAfterBurstDrains(t *testing.T) {
+	s := NewSim(1)
+	var q Queue
+	n := queueShrinkCap * 2
+	for i := 0; i < n; i++ {
+		q.push(s.NewPacket(KindData, 100, "h2"))
+	}
+	if q.Cap() <= queueShrinkCap {
+		t.Fatalf("burst of %d did not grow the backing array past queueShrinkCap: cap=%d", n, q.Cap())
+	}
+	for q.Len() > 0 {
+		s.Release(q.pop())
+	}
+	if q.Cap() > queueShrinkCap {
+		t.Fatalf("drained queue kept its burst capacity: cap=%d > %d", q.Cap(), queueShrinkCap)
+	}
+
+	// Steady-state depths must NOT shrink: a queue oscillating between full
+	// and empty below the threshold keeps its array (no thrash).
+	for i := 0; i < 128; i++ {
+		q.push(s.NewPacket(KindData, 100, "h2"))
+	}
+	for q.Len() > 0 {
+		s.Release(q.pop())
+	}
+	if q.Cap() == 0 {
+		t.Fatal("steady-state drain released the backing array; shrink threshold not honored")
+	}
+	got := q.Cap()
+	for round := 0; round < 8; round++ {
+		for i := 0; i < 128; i++ {
+			q.push(s.NewPacket(KindData, 100, "h2"))
+		}
+		for q.Len() > 0 {
+			s.Release(q.pop())
+		}
+	}
+	if q.Cap() != got {
+		t.Fatalf("steady-state fill/drain cycles changed capacity %d -> %d (shrink thrash)", got, q.Cap())
+	}
+}
+
+// Mid-stream compaction of an oversized array (head far ahead, burst over)
+// must also right-size the storage, not just slide the survivors.
+func TestQueueCompactionRightSizes(t *testing.T) {
+	s := NewSim(1)
+	var q Queue
+	n := queueShrinkCap * 4
+	for i := 0; i < n; i++ {
+		q.push(s.NewPacket(KindData, 100, "h2"))
+	}
+	peak := q.Cap()
+	// Drain to a small residue without ever hitting empty, so only the
+	// compaction path (not the drain-to-empty path) can shrink.
+	for q.Len() > 64 {
+		s.Release(q.pop())
+	}
+	if q.Cap() >= peak {
+		t.Fatalf("compaction kept the burst array: cap=%d (peak %d) with %d resident", q.Cap(), peak, q.Len())
+	}
+	for q.Len() > 0 {
+		s.Release(q.pop())
+	}
+}

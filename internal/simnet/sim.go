@@ -17,6 +17,13 @@
 //
 // A Sim owns a single event queue and RNG; a run is single-threaded and
 // reproducible from its seed. Independent Sims may run concurrently.
+//
+// The steady-state per-packet path is allocation-free: packets recycle
+// through a per-Sim free list (Sim.Release at the terminal points), the
+// LinkGuardian headers are inline Packet fields, and every per-frame event
+// is scheduled through the typed eventq ScheduleCall form with pooled
+// argument cells instead of a heap-allocated closure. DESIGN.md §9
+// documents the discipline.
 package simnet
 
 import (
@@ -33,6 +40,7 @@ type Sim struct {
 	Rng *rand.Rand
 
 	nextPktID uint64
+	pktFree   *Packet // packet free list; see Sim.Release
 }
 
 // NewSim returns a simulator seeded for reproducibility.
@@ -53,6 +61,18 @@ func (s *Sim) After(d simtime.Duration, fn func()) eventq.Timer {
 	return s.Q.After(int64(d), fn)
 }
 
+// AtCall schedules fn(a0, a1) at an absolute simulated time — the typed,
+// zero-allocation form: fn must be a static function, a0/a1 pointers.
+func (s *Sim) AtCall(t simtime.Time, fn func(a0, a1 any), a0, a1 any) eventq.Timer {
+	return s.Q.ScheduleCall(int64(t), fn, a0, a1)
+}
+
+// AfterCall schedules fn(a0, a1) d after the current time; typed
+// counterpart of After.
+func (s *Sim) AfterCall(d simtime.Duration, fn func(a0, a1 any), a0, a1 any) eventq.Timer {
+	return s.Q.AfterCall(int64(d), fn, a0, a1)
+}
+
 // Cancel removes a pending event; safe on zero/fired timers.
 func (s *Sim) Cancel(t eventq.Timer) { s.Q.Cancel(t) }
 
@@ -62,16 +82,26 @@ func (s *Sim) Run(until simtime.Time) { s.Q.RunUntil(int64(until)) }
 // RunFor advances the simulation by d.
 func (s *Sim) RunFor(d simtime.Duration) { s.Run(s.Now().Add(d)) }
 
+// ticker is the pooled state of one Sim.Every loop: a single allocation at
+// setup, then each tick re-schedules through the typed event form.
+type ticker struct {
+	s        *Sim
+	interval simtime.Duration
+	fn       func() bool
+}
+
+func tickerFire(a0, _ any) {
+	t := a0.(*ticker)
+	if t.fn() {
+		t.s.AfterCall(t.interval, tickerFire, t, nil)
+	}
+}
+
 // Every invokes fn every interval until it returns false, starting one
 // interval from now.
 func (s *Sim) Every(interval simtime.Duration, fn func() bool) {
-	var tick func()
-	tick = func() {
-		if fn() {
-			s.After(interval, tick)
-		}
-	}
-	s.After(interval, tick)
+	t := &ticker{s: s, interval: interval, fn: fn}
+	s.AfterCall(interval, tickerFire, t, nil)
 }
 
 func (s *Sim) pktID() uint64 {

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"linkguardian/internal/seqnum"
 	"linkguardian/internal/simtime"
 )
 
@@ -325,8 +326,8 @@ func TestLoopbackRecirculation(t *testing.T) {
 func TestCloneDeepCopies(t *testing.T) {
 	s := NewSim(1)
 	p := s.NewPacket(KindData, 100, "h2")
-	p.LG = &LGData{Retx: false}
-	p.Notif = &LossNotif{}
+	p.LG = LGData{Present: true, Retx: false}
+	p.Notif = LossNotif{Present: true, Count: 1}
 	c := p.Clone(s)
 	if c.ID == p.ID {
 		t.Fatal("clone shares ID")
@@ -334,6 +335,10 @@ func TestCloneDeepCopies(t *testing.T) {
 	c.LG.Retx = true
 	if p.LG.Retx {
 		t.Fatal("clone shares LG header")
+	}
+	c.Notif.Missing[0] = seqnum.Seq{N: 9}
+	if p.Notif.Missing[0] == c.Notif.Missing[0] {
+		t.Fatal("clone shares Notif missing array")
 	}
 }
 

@@ -42,7 +42,12 @@ func (sw *Switch) Ifcs() []*Ifc { return sw.ifcs }
 // AddRoute sends packets destined to host out i.
 func (sw *Switch) AddRoute(host string, i *Ifc) { sw.routes[host] = i }
 
-// HandlePacket forwards a packet after the pipeline latency.
+// ifcSend is the typed pipeline-traversal event: a0 is the egress Ifc, a1
+// the forwarded frame.
+func ifcSend(a0, a1 any) { a0.(*Ifc).Send(a1.(*Packet)) }
+
+// HandlePacket forwards a packet after the pipeline latency. A routeless
+// packet is dropped — a terminal point, so it returns to the free list.
 func (sw *Switch) HandlePacket(pkt *Packet, in *Ifc) {
 	var out *Ifc
 	if sw.Route != nil {
@@ -52,9 +57,10 @@ func (sw *Switch) HandlePacket(pkt *Packet, in *Ifc) {
 	}
 	if out == nil {
 		sw.Dropped++
+		sw.sim.Release(pkt)
 		return
 	}
-	sw.sim.After(sw.PipelineLatency, func() { out.Send(pkt) })
+	sw.sim.AfterCall(sw.PipelineLatency, ifcSend, out, pkt)
 }
 
 // Host is an endpoint with a protocol-stack delay. Received packets are
@@ -69,6 +75,13 @@ type Host struct {
 
 	// OnReceive consumes packets addressed to this host.
 	OnReceive func(pkt *Packet)
+
+	// Recycle, when set, releases each packet back to the Sim's free list
+	// after OnReceive returns — the host is then a terminal point of the
+	// zero-allocation hot path. Leave it unset if OnReceive retains the
+	// *Packet beyond the callback (retaining Payload is always safe: the
+	// pool never touches it, only the Packet struct is recycled).
+	Recycle bool
 
 	ifc *Ifc
 }
@@ -90,18 +103,35 @@ func (h *Host) addIfc(i *Ifc) {
 // Ifc returns the host's (single) interface.
 func (h *Host) Ifc() *Ifc { return h.ifc }
 
+// hostDeliver is the typed stack-delay event: a0 is the Host, a1 the
+// received frame.
+func hostDeliver(a0, a1 any) {
+	h := a0.(*Host)
+	pkt := a1.(*Packet)
+	if h.OnReceive != nil {
+		h.OnReceive(pkt)
+	}
+	if h.Recycle {
+		h.sim.Release(pkt)
+	}
+}
+
 // HandlePacket delivers to OnReceive after the stack delay.
 func (h *Host) HandlePacket(pkt *Packet, in *Ifc) {
-	if h.OnReceive == nil {
+	if h.OnReceive == nil && !h.Recycle {
 		return
 	}
-	h.sim.After(h.StackDelay, func() { h.OnReceive(pkt) })
+	h.sim.AfterCall(h.StackDelay, hostDeliver, h, pkt)
 }
+
+// hostSend is the typed transmit-side stack-delay event: a0 is the Host,
+// a1 the departing frame.
+func hostSend(a0, a1 any) { a0.(*Host).ifc.Send(a1.(*Packet)) }
 
 // Send transmits a packet from this host after the stack delay.
 func (h *Host) Send(pkt *Packet) {
 	if pkt.SentAt == 0 {
 		pkt.SentAt = h.sim.Now()
 	}
-	h.sim.After(h.StackDelay, func() { h.ifc.Send(pkt) })
+	h.sim.AfterCall(h.StackDelay, hostSend, h, pkt)
 }

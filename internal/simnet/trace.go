@@ -125,19 +125,19 @@ func (t *Tracer) TapIf(sim *Sim, l *Link, keep func(TraceEvent) bool) {
 			FlowID:    pkt.FlowID,
 			Corrupted: corrupted,
 		}
-		if pkt.LG != nil {
+		if pkt.LG.Present {
 			e.HasLG = true
 			e.Seq = pkt.LG.Seq.N
 			e.Era = pkt.LG.Seq.Era
 			e.Retx = pkt.LG.Retx
 			e.Dummy = pkt.LG.Dummy
 		}
-		if pkt.LGAck != nil && pkt.LGAck.Valid {
+		if pkt.LGAck.Present && pkt.LGAck.Valid {
 			e.AckValid = true
 			e.AckSeq = pkt.LGAck.LatestRx.N
 		}
-		if pkt.Notif != nil {
-			e.NotifCount = len(pkt.Notif.Missing)
+		if pkt.Notif.Present {
+			e.NotifCount = pkt.Notif.Count
 		}
 		if keep != nil && !keep(e) {
 			return

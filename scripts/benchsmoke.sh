@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# CI benchmark smoke: one iteration of the hot-path benchmark, comparing
+# allocs/op against the committed baseline (scripts/bench_baseline.txt).
+# Throughput is machine-dependent and is NOT gated here; the allocation
+# count is deterministic and must never regress.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+raw="$(go test -run '^$' -bench 'BenchmarkHotPath_PktsPerSec' -benchtime 1x -count 1 .)"
+echo "$raw"
+
+fail=0
+while read -r name budget; do
+    [ -z "$name" ] && continue
+    case "$name" in \#*) continue ;; esac
+    got=$(echo "$raw" | awk -v name="$name" '
+        $1 ~ "BenchmarkHotPath_PktsPerSec/" name "(-[0-9]+)?$" {
+            for (i = 1; i < NF; i++) if ($(i+1) == "allocs/op") { printf "%d", $i; exit }
+        }')
+    if [ -z "$got" ]; then
+        echo "benchsmoke: subbenchmark $name missing from output" >&2
+        fail=1
+    elif [ "$got" -gt "$budget" ]; then
+        echo "benchsmoke: $name regressed to $got allocs/op (budget $budget)" >&2
+        fail=1
+    else
+        echo "benchsmoke: $name ok ($got allocs/op, budget $budget)"
+    fi
+done < scripts/bench_baseline.txt
+exit $fail
