@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 build vet test race bench bench-smoke chaos cover fuzz clean
+.PHONY: all tier1 build vet test race bench bench-smoke chaos cover fuzz live-smoke clean
 
 all: tier1
 
@@ -26,6 +26,7 @@ test:
 race:
 	$(GO) test -race ./internal/parallel
 	$(GO) test -race -run 'TestParallel.*MatchesSerial' ./internal/experiments
+	$(GO) test -race -count=1 ./internal/live
 
 # Full hot-path benchmark; records the result (with the pre-optimization
 # baseline and speedup) as BENCH_4.json at the repository root.
@@ -65,6 +66,15 @@ chaos:
 	$(GO) run ./cmd/chaos -scenario storm -seed 1
 	$(GO) run ./cmd/chaos -scenario era-wrap -seed 1
 	$(GO) run ./cmd/chaos -soak 200 -seed 20230823
+
+# Live dataplane smoke test: the lglive loopback demo — real UDP sockets,
+# impairment proxy at 1e-3 loss, race detector on — must mask every drop
+# (zero app-visible loss, duplicates or reordering) and shut down cleanly
+# within the deadline. ~10s of offered traffic; rate kept modest because
+# the race detector cuts the loop's event budget roughly 10x.
+live-smoke:
+	$(GO) run -race ./cmd/lglive -mode=demo -count 100000 -pps 10000 \
+		-size 512 -loss 1e-3 -seed 42 -strict
 
 clean:
 	$(GO) clean ./...

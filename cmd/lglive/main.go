@@ -1,0 +1,336 @@
+// Command lglive runs the LinkGuardian state machines over real UDP
+// sockets: a live protected link on localhost (or any reachable path),
+// with an in-path impairment proxy standing in for the testbed's variable
+// optical attenuator.
+//
+// Four roles compose a protected link:
+//
+//	lglive -mode=demo                 # sender + proxy + receiver in one process
+//	lglive -mode=receiver -listen A -peer C
+//	lglive -mode=proxy    -listen B -peer A -loss 1e-3
+//	lglive -mode=sender   -listen C -peer B -count 1000000 -pps 100000
+//
+// Data flows sender → proxy → receiver; ACKs, loss notifications and PFC
+// frames return receiver → sender directly (the attenuator corrupts one
+// direction, §4 of the paper). Every role serves Prometheus metrics on
+// -http and shuts down cleanly on SIGINT/SIGTERM.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"linkguardian/internal/core"
+	"linkguardian/internal/live"
+	"linkguardian/internal/obs"
+	"linkguardian/internal/simtime"
+)
+
+type options struct {
+	mode     string
+	listen   string
+	peer     string
+	httpAddr string
+
+	count    uint64
+	duration time.Duration
+	pps      float64
+	size     int
+
+	loss     float64
+	burst    bool
+	burstLen float64
+	jitter   time.Duration
+	reorder  float64
+
+	rateGbps float64
+	lgMode   string
+	seed     int64
+	strict   bool
+	jsonOut  bool
+}
+
+func parseFlags() *options {
+	o := &options{}
+	flag.StringVar(&o.mode, "mode", "demo", "role: demo | sender | receiver | proxy")
+	flag.StringVar(&o.listen, "listen", "127.0.0.1:0", "UDP address to bind")
+	flag.StringVar(&o.peer, "peer", "", "UDP address frames are sent to (sender: proxy or receiver; receiver: sender; proxy: forward target)")
+	flag.StringVar(&o.httpAddr, "http", "", "serve Prometheus metrics on this address at /metrics (demo also serves /metrics/sender)")
+	flag.Uint64Var(&o.count, "count", 0, "packets to offer (sender/demo); 0 derives from -duration")
+	flag.DurationVar(&o.duration, "duration", 10*time.Second, "offered-load duration when -count is 0; receiver auto-exit when set")
+	flag.Float64Var(&o.pps, "pps", 20000, "offered packets per second")
+	flag.IntVar(&o.size, "size", 1000, "app frame size in bytes")
+	flag.Float64Var(&o.loss, "loss", 1e-3, "forward-path corruption probability at the proxy")
+	flag.BoolVar(&o.burst, "burst", false, "use the Gilbert–Elliott burst-loss model instead of i.i.d.")
+	flag.Float64Var(&o.burstLen, "burstlen", 4, "mean burst length in frames for -burst")
+	flag.DurationVar(&o.jitter, "jitter", 0, "uniform forward-path delay span (order-preserving)")
+	flag.Float64Var(&o.reorder, "reorder", 0, "per-datagram adjacent-swap probability at the proxy")
+	flag.Float64Var(&o.rateGbps, "rate", 1, "protected link line rate in Gbit/s")
+	flag.StringVar(&o.lgMode, "lg-mode", "ordered", "protocol mode: ordered | nb")
+	flag.Int64Var(&o.seed, "seed", 1, "impairment RNG seed")
+	flag.BoolVar(&o.strict, "strict", false, "exit non-zero unless the app-level audit is perfectly clean")
+	flag.BoolVar(&o.jsonOut, "json", false, "dump the final metrics snapshot as JSON to stdout")
+	flag.Parse()
+	if o.count == 0 {
+		o.count = uint64(o.pps * o.duration.Seconds())
+	}
+	return o
+}
+
+func (o *options) protocolMode() (core.Mode, error) {
+	switch o.lgMode {
+	case "ordered":
+		return core.Ordered, nil
+	case "nb":
+		return core.NonBlocking, nil
+	}
+	return core.Ordered, fmt.Errorf("unknown -lg-mode %q (want ordered or nb)", o.lgMode)
+}
+
+func (o *options) endpointConfig() (live.EndpointConfig, error) {
+	mode, err := o.protocolMode()
+	return live.EndpointConfig{
+		Seed:     o.seed,
+		LinkRate: simtime.Rate(o.rateGbps * float64(simtime.Gbps)),
+		LossRate: o.loss,
+		Mode:     mode,
+		Strict:   o.strict,
+	}, err
+}
+
+// serveMetrics starts a metrics listener if -http was given and returns the
+// handler mux for additional routes.
+func serveMetrics(addr string, routes map[string]func() obs.Snapshot) {
+	if addr == "" {
+		return
+	}
+	mux := http.NewServeMux()
+	for path, snap := range routes {
+		mux.Handle(path, obs.PrometheusHandler(snap))
+	}
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			fmt.Fprintf(os.Stderr, "lglive: metrics server: %v\n", err)
+		}
+	}()
+}
+
+// signalChan returns a channel closed on SIGINT/SIGTERM.
+func signalChan() <-chan struct{} {
+	done := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sig
+		close(done)
+	}()
+	return done
+}
+
+func bindUDP(addr string) (*net.UDPConn, error) {
+	laddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return net.ListenUDP("udp", laddr)
+}
+
+func resolvePeer(addr string) (*net.UDPAddr, error) {
+	if addr == "" {
+		return nil, fmt.Errorf("-peer is required for this mode")
+	}
+	return net.ResolveUDPAddr("udp", addr)
+}
+
+func runDemoMode(o *options) error {
+	mode, err := o.protocolMode()
+	if err != nil {
+		return err
+	}
+	cfg := live.DemoConfig{
+		Seed:     o.seed,
+		Count:    o.count,
+		Size:     o.size,
+		PPS:      o.pps,
+		LossRate: o.loss,
+		Burst:    o.burst,
+		BurstLen: o.burstLen,
+		Jitter:   o.jitter,
+		Reorder:  o.reorder,
+		LinkRate: simtime.Rate(o.rateGbps * float64(simtime.Gbps)),
+		Mode:     mode,
+		Cancel:   signalChan(),
+		OnStart: func(sender, receiver *live.Endpoint) {
+			serveMetrics(o.httpAddr, map[string]func() obs.Snapshot{
+				"/metrics":        func() obs.Snapshot { s, _ := receiver.Snapshot(); return s },
+				"/metrics/sender": func() obs.Snapshot { s, _ := sender.Snapshot(); return s },
+			})
+		},
+	}
+	report, err := live.RunDemo(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(report)
+	if o.jsonOut {
+		if err := obs.MergeSnapshots(report.Sender, report.Receiver).WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if o.strict {
+		return report.Check()
+	}
+	return nil
+}
+
+func runSenderMode(o *options) error {
+	cfg, err := o.endpointConfig()
+	if err != nil {
+		return err
+	}
+	conn, err := bindUDP(o.listen)
+	if err != nil {
+		return err
+	}
+	peer, err := resolvePeer(o.peer)
+	if err != nil {
+		return err
+	}
+	ep := live.NewSender(cfg, conn, peer)
+	defer ep.Stop()
+	ep.Start()
+	serveMetrics(o.httpAddr, map[string]func() obs.Snapshot{
+		"/metrics": func() obs.Snapshot { s, _ := ep.Snapshot(); return s },
+	})
+	fmt.Printf("lglive sender: %v -> %v, %d packets at %.0f pps\n",
+		conn.LocalAddr(), peer, o.count, o.pps)
+	done, err := ep.StartGenerator(o.count, o.size, o.pps)
+	if err != nil {
+		return err
+	}
+	quit := signalChan()
+	select {
+	case <-done:
+		// Give the final ACK round trips and any tail retransmissions a
+		// moment before tearing the Tx buffer down.
+		select {
+		case <-time.After(2 * time.Second):
+		case <-quit:
+		}
+	case <-quit:
+	}
+	return finishEndpoint(ep, o, false)
+}
+
+func runReceiverMode(o *options) error {
+	cfg, err := o.endpointConfig()
+	if err != nil {
+		return err
+	}
+	conn, err := bindUDP(o.listen)
+	if err != nil {
+		return err
+	}
+	peer, err := resolvePeer(o.peer)
+	if err != nil {
+		return err
+	}
+	ep := live.NewReceiver(cfg, conn, peer)
+	defer ep.Stop()
+	ep.Start()
+	serveMetrics(o.httpAddr, map[string]func() obs.Snapshot{
+		"/metrics": func() obs.Snapshot { s, _ := ep.Snapshot(); return s },
+	})
+	fmt.Printf("lglive receiver: %v, ACKs to %v\n", conn.LocalAddr(), peer)
+	quit := signalChan()
+	if o.duration > 0 {
+		select {
+		case <-quit:
+		case <-time.After(o.duration):
+		}
+	} else {
+		<-quit
+	}
+	return finishEndpoint(ep, o, true)
+}
+
+// finishEndpoint prints an endpoint's final accounting and applies the
+// strict audit on the receiving side.
+func finishEndpoint(ep *live.Endpoint, o *options, audit bool) error {
+	var app live.AppStats
+	var wire live.WireStats
+	ok := ep.Loop.Call(func() { app, wire = ep.App, ep.Wire.Stats })
+	if !ok {
+		return fmt.Errorf("loop stopped before final stats")
+	}
+	fmt.Printf("app: tx=%d rx=%d lost=%d dup=%d ooo=%d gaps=%d | wire: tx=%d rx=%d tx_errs=%d decode_drops=%d\n",
+		app.Tx, app.Rx, app.Lost, app.Duplicate, app.OutOfSeq, app.Gaps,
+		wire.TxDatagrams, wire.RxDatagrams, wire.TxErrors, wire.DecodeDrops)
+	if o.jsonOut {
+		s, _ := ep.Snapshot()
+		if err := s.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if audit && o.strict {
+		switch {
+		case app.Lost != 0:
+			return fmt.Errorf("strict: %d app-visible lost packets", app.Lost)
+		case app.Duplicate != 0:
+			return fmt.Errorf("strict: %d duplicate deliveries", app.Duplicate)
+		case app.OutOfSeq != 0:
+			return fmt.Errorf("strict: %d out-of-order deliveries", app.OutOfSeq)
+		}
+	}
+	return nil
+}
+
+func runProxyMode(o *options) error {
+	if o.peer == "" {
+		return fmt.Errorf("-peer is required for this mode")
+	}
+	var model = live.DemoConfig{LossRate: o.loss, Burst: o.burst, BurstLen: o.burstLen}
+	imp := live.ProxyImpair{
+		Model:       model.Model(),
+		Jitter:      o.jitter,
+		ReorderProb: o.reorder,
+	}
+	p, err := live.NewProxy(o.listen, o.peer, imp, o.seed)
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	fmt.Printf("lglive proxy: %v -> %v, loss=%g burst=%v jitter=%v reorder=%g\n",
+		p.Addr(), o.peer, o.loss, o.burst, o.jitter, o.reorder)
+	<-signalChan()
+	fmt.Printf("proxy: forwarded=%d dropped=%d delayed=%d swapped=%d\n",
+		p.Forwarded(), p.Dropped(), p.Delayed(), p.Swapped())
+	return nil
+}
+
+func main() {
+	o := parseFlags()
+	var err error
+	switch o.mode {
+	case "demo":
+		err = runDemoMode(o)
+	case "sender":
+		err = runSenderMode(o)
+	case "receiver":
+		err = runReceiverMode(o)
+	case "proxy":
+		err = runProxyMode(o)
+	default:
+		err = fmt.Errorf("unknown -mode %q (want demo, sender, receiver or proxy)", o.mode)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lglive: %v\n", err)
+		os.Exit(1)
+	}
+}

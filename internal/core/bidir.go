@@ -63,7 +63,7 @@ func (g *Instance) SetMode(m Mode) {
 	if m == Ordered && g.recirc == nil {
 		// The instance was built without a reordering buffer; create it.
 		aggregate := g.cfg.RecircRate * simtime.Rate(g.cfg.RecircPorts)
-		g.recirc = simnet.Loopback(g.sim, g.recvIfc.Node(), aggregate, g.cfg.RecircLoopLatency)
+		g.recirc = g.rt.Loopback(g.recvIfc.Node(), aggregate, g.cfg.RecircLoopLatency)
 		g.recirc.Peer().OnIngress = g.onRecirc
 	}
 	g.cfg.Mode = m

@@ -13,8 +13,9 @@ import (
 // unidirectional-corruption assumption, §3; 91.8% of corrupting links in
 // production corrupt one direction only).
 type Instance struct {
-	sim *simnet.Sim
-	cfg Config
+	rt   Runtime
+	role Role
+	cfg  Config
 
 	// M exposes protocol instrumentation. Read-only for callers.
 	M Metrics
@@ -114,10 +115,32 @@ func (g *Instance) freeCell(c *seqCell) {
 }
 
 // Protect creates a LinkGuardian instance for the direction transmitted by
-// sendIfc. The instance starts disabled (dormant, imposing no cost);
-// call Enable to activate it, as corruptd does when the link starts
-// corrupting packets.
-func Protect(sim *simnet.Sim, sendIfc *simnet.Ifc, cfg Config) *Instance {
+// sendIfc, attaching both protocol halves to the two ends of the link (the
+// classic single-process topology). The instance starts disabled (dormant,
+// imposing no cost); call Enable to activate it, as corruptd does when the
+// link starts corrupting packets.
+func Protect(rt Runtime, sendIfc *simnet.Ifc, cfg Config) *Instance {
+	return protect(rt, sendIfc, sendIfc.Peer(), cfg, RoleBoth)
+}
+
+// ProtectSender attaches only the sender half to sendIfc: packets egressing
+// it are stamped and buffered, and ACKs/loss notifications arriving on it
+// are consumed. The receiving end of the link is elsewhere — another OS
+// process across a real network path (internal/live) — so no receiver state
+// machine is installed here.
+func ProtectSender(rt Runtime, sendIfc *simnet.Ifc, cfg Config) *Instance {
+	return protect(rt, sendIfc, sendIfc.Peer(), cfg, RoleSender)
+}
+
+// ProtectReceiver attaches only the receiver half to recvIfc, the interface
+// on which protected packets arrive: loss detection, the reordering buffer,
+// and the ACK/notification/PFC streams transmitted back toward the remote
+// sender through recvIfc's own egress port.
+func ProtectReceiver(rt Runtime, recvIfc *simnet.Ifc, cfg Config) *Instance {
+	return protect(rt, recvIfc.Peer(), recvIfc, cfg, RoleReceiver)
+}
+
+func protect(rt Runtime, sendIfc, recvIfc *simnet.Ifc, cfg Config, role Role) *Instance {
 	if cfg.DummyCopies <= 0 {
 		cfg.DummyCopies = 1
 	}
@@ -131,20 +154,21 @@ func Protect(sim *simnet.Sim, sendIfc *simnet.Ifc, cfg Config) *Instance {
 		cfg.CtrlCopies = 1
 	}
 	g := &Instance{
-		sim:     sim,
+		rt:      rt,
+		role:    role,
 		cfg:     cfg,
 		sendIfc: sendIfc,
-		recvIfc: sendIfc.Peer(),
+		recvIfc: recvIfc,
 		txBuf:   map[seqnum.Seq]*txEntry{},
 		missing: map[seqnum.Seq]lossRecord{},
 		copies:  cfg.Copies(),
 	}
-	if cfg.Mode == Ordered {
+	if cfg.Mode == Ordered && role != RoleSender {
 		if cfg.RecircLoopLatency <= 0 {
 			cfg.RecircLoopLatency = cfg.PipelineLatency
 		}
 		aggregate := cfg.RecircRate * simtime.Rate(cfg.RecircPorts)
-		g.recirc = simnet.Loopback(sim, g.recvIfc.Node(), aggregate, cfg.RecircLoopLatency)
+		g.recirc = rt.Loopback(g.recvIfc.Node(), aggregate, cfg.RecircLoopLatency)
 		g.recirc.Peer().OnIngress = g.onRecirc
 	}
 	g.installHooks()
@@ -192,10 +216,12 @@ func (g *Instance) Enable() {
 	g.notified = g.lastTx
 	g.paused = false
 	g.rxHeld = 0
-	if g.cfg.TailLossDetection {
+	if g.cfg.TailLossDetection && g.role != RoleReceiver {
 		g.seedDummies()
 	}
-	g.seedAcks()
+	if g.role != RoleSender {
+		g.seedAcks()
+	}
 }
 
 // Disable deactivates protection. In-flight protected packets and buffered
@@ -209,7 +235,7 @@ func (g *Instance) Disable() {
 	g.enabled = false
 	g.draining = true
 	for _, e := range g.txBuf {
-		g.releaseEntry(e, g.sim.Now())
+		g.releaseEntry(e, g.rt.Now())
 	}
 	if g.paused {
 		g.sendPFC(simnet.KindResume)
@@ -218,15 +244,24 @@ func (g *Instance) Disable() {
 }
 
 func (g *Instance) installHooks() {
-	chainIngress(g.sendIfc, g.onReverse)
-	chainIngress(g.recvIfc, g.onProtected)
-	// Protected packets are stamped and mirrored in the egress pipeline,
-	// i.e. at dequeue time (Appendix A.2). Stamping at wire time — rather
-	// than enqueue — means the Tx buffer holds packets only for the ACK
-	// round trip, not for time spent in the egress queue, and guarantees
-	// dummies (which keep flowing while the normal queue is PFC-paused)
-	// never announce a seqNo that has not actually been transmitted.
-	chainDequeue(g.sendIfc.Port.Q(simnet.PrioNormal), g.stampAtWire)
+	if g.role != RoleReceiver {
+		chainIngress(g.sendIfc, g.onReverse)
+	}
+	if g.role != RoleSender {
+		chainIngress(g.recvIfc, g.onProtected)
+	}
+	if g.role != RoleReceiver {
+		// Protected packets are stamped and mirrored in the egress pipeline,
+		// i.e. at dequeue time (Appendix A.2). Stamping at wire time — rather
+		// than enqueue — means the Tx buffer holds packets only for the ACK
+		// round trip, not for time spent in the egress queue, and guarantees
+		// dummies (which keep flowing while the normal queue is PFC-paused)
+		// never announce a seqNo that has not actually been transmitted.
+		chainDequeue(g.sendIfc.Port.Q(simnet.PrioNormal), g.stampAtWire)
+	}
+	if g.role == RoleSender {
+		return
+	}
 	// Piggyback the cumulative ACK on reverse-direction normal traffic,
 	// stamped at wire time (§3.1).
 	chainDequeue(g.recvIfc.Port.Q(simnet.PrioNormal), func(pkt *simnet.Packet) {
@@ -328,10 +363,10 @@ func (g *Instance) quantize(t simtime.Time) simtime.Time {
 
 // atQuantized schedules fn at the timer tick at or after now+d.
 func (g *Instance) atQuantized(d simtime.Duration, fn func()) {
-	g.sim.At(g.quantize(g.sim.Now().Add(d)), fn)
+	g.rt.At(g.quantize(g.rt.Now().Add(d)), fn)
 }
 
 // atQuantizedCall is the typed, allocation-free counterpart of atQuantized.
 func (g *Instance) atQuantizedCall(d simtime.Duration, fn func(a0, a1 any), a0, a1 any) {
-	g.sim.AtCall(g.quantize(g.sim.Now().Add(d)), fn, a0, a1)
+	g.rt.AtCall(g.quantize(g.rt.Now().Add(d)), fn, a0, a1)
 }

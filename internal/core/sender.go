@@ -61,9 +61,9 @@ func (g *Instance) buffer(pkt *simnet.Packet, seq seqnum.Seq) {
 		return
 	}
 	e := g.newTxEntry()
-	e.pkt = pkt.Clone(g.sim)
+	e.pkt = g.rt.ClonePacket(pkt)
 	e.seq = seq
-	e.insertAt = g.sim.Now()
+	e.insertAt = g.rt.Now()
 	e.loop = g.loopTime(pkt.Size)
 	g.txBuf[seq] = e
 	g.M.TxBufBytes += pkt.Size
@@ -107,7 +107,7 @@ func (g *Instance) retire(e *txEntry) {
 	g.M.SenderLoops += e.pendLoops
 	g.M.TxBufBytes -= e.pkt.Size
 	delete(g.txBuf, e.seq)
-	g.sim.Release(e.pkt)
+	g.rt.Release(e.pkt)
 	g.freeTxEntry(e)
 }
 
@@ -141,14 +141,14 @@ func (g *Instance) onReverse(pkt *simnet.Packet) bool {
 		if pkt.LGAck.Valid {
 			g.handleAck(pkt.LGAck.LatestRx)
 		}
-		g.sim.Release(pkt)
+		g.rt.Release(pkt)
 		return true
 	case simnet.KindLossNotif:
 		if !pkt.Notif.Present || pkt.Notif.Chan != g.cfg.Channel {
 			return false
 		}
 		g.handleNotif(&pkt.Notif)
-		g.sim.Release(pkt)
+		g.rt.Release(pkt)
 		return true
 	}
 	if pkt.LGAck.Present && pkt.LGAck.Valid && pkt.LGAck.Chan == g.cfg.Channel {
@@ -189,7 +189,7 @@ func (g *Instance) handleAck(latestRx seqnum.Seq) {
 	}
 	prev := g.senderLatestRx
 	g.senderLatestRx = latestRx
-	now := g.sim.Now()
+	now := g.rt.Now()
 	n := seqnum.Distance(prev, latestRx)
 	for i := 1; i <= n; i++ {
 		e, ok := g.txBuf[prev.Add(i)]
@@ -199,7 +199,7 @@ func (g *Instance) handleAck(latestRx seqnum.Seq) {
 		e.released = true // claim now; account at the loop boundary
 		at, loops := g.releaseBoundary(e, now)
 		e.pendLoops = loops
-		g.sim.AtCall(at, txFlushFire, g, e)
+		g.rt.AtCall(at, txFlushFire, g, e)
 	}
 }
 
@@ -211,7 +211,7 @@ func txRetxFire(a0, a1 any) {
 	e := a1.(*txEntry)
 	g.M.Retransmits++
 	for i := 0; i < g.copies; i++ {
-		c := e.pkt.Clone(g.sim)
+		c := g.rt.ClonePacket(e.pkt)
 		c.LG.Retx = true
 		c.Prio = simnet.PrioHigh
 		g.M.RetxCopies++
@@ -226,7 +226,7 @@ func txRetxFire(a0, a1 any) {
 // (§3.4, Appendix A.2). The notification header is read synchronously; the
 // caller may release the carrying packet as soon as this returns.
 func (g *Instance) handleNotif(n *simnet.LossNotif) {
-	now := g.sim.Now()
+	now := g.rt.Now()
 	for _, seq := range n.MissingSeqs() {
 		e, ok := g.txBuf[seq]
 		if !ok || e.released {
@@ -236,7 +236,7 @@ func (g *Instance) handleNotif(n *simnet.LossNotif) {
 		e.retxReq = true
 		at, loops := g.releaseBoundary(e, now)
 		e.pendLoops = loops
-		g.sim.AtCall(at, txRetxFire, g, e)
+		g.rt.AtCall(at, txRetxFire, g, e)
 	}
 	// The notification also carries the post-gap latestRxSeqNo.
 	g.handleAck(n.LatestRx)
@@ -262,7 +262,7 @@ func (g *Instance) seedDummies() {
 			pkt.LG.LastTx = g.lastTx
 			g.dummyOut--
 			g.M.DummiesSent++
-			g.sim.AfterCall(g.cfg.DummyInterval, replenishDummiesFire, g, nil)
+			g.rt.AfterCall(g.cfg.DummyInterval, replenishDummiesFire, g, nil)
 		})
 	}
 	g.replenishDummies()
@@ -278,7 +278,7 @@ func (g *Instance) replenishDummies() {
 		return
 	}
 	for i := 0; i < g.cfg.DummyCopies; i++ {
-		d := g.sim.NewPacket(simnet.KindDummy, simtime.MinFrame, "")
+		d := g.rt.NewPacket(simnet.KindDummy, simtime.MinFrame, "")
 		d.Prio = simnet.PrioLow
 		d.LG = simnet.LGData{Present: true, Dummy: true, Chan: g.cfg.Channel}
 		g.dummyOut++

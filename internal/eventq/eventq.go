@@ -221,6 +221,18 @@ func (q *Queue) RunUntil(deadline int64) {
 	}
 }
 
+// NextAt reports the firing time of the earliest pending event. ok is false
+// when no live events remain. Real-time executors (internal/live) use it to
+// set their wall-clock wakeup; the discrete-event Run/Drain loops never need
+// it. Lazily-canceled heap entries are purged so the answer is exact.
+func (q *Queue) NextAt() (at int64, ok bool) {
+	q.purgeCanceled()
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].at, true
+}
+
 // Drain fires events until none remain. maxEvents bounds runaway
 // simulations: Drain panics if it fires more than maxEvents events
 // (use <=0 for no bound). The panic message carries queue diagnostics —

@@ -1,0 +1,270 @@
+package live
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"linkguardian/internal/core"
+	"linkguardian/internal/obs"
+	"linkguardian/internal/simnet"
+	"linkguardian/internal/simtime"
+)
+
+// DemoConfig parameterizes a self-contained loopback run: sender and
+// receiver endpoints in one process, with the impairment proxy in the
+// forward path. This is the harness behind `lglive -mode=demo`, the race
+// tests, and the CI smoke job.
+type DemoConfig struct {
+	Seed  int64
+	Count uint64  // packets the sending app offers (required)
+	Size  int     // app frame size in bytes (default 1000)
+	PPS   float64 // offered rate in packets/second (default 20000)
+
+	// LossRate is the proxy's corruption probability on the forward
+	// (data) path. Burst switches the model from i.i.d. Bernoulli to
+	// Gilbert–Elliott with BurstLen mean consecutive losses.
+	LossRate float64
+	Burst    bool
+	BurstLen float64       // mean burst length in frames (default 4)
+	Jitter   time.Duration // uniform forward-path delay span (order-preserving)
+	Reorder  float64       // per-datagram adjacent-swap probability
+
+	LinkRate simtime.Rate // protected link line rate (default 1Gbps)
+	Mode     core.Mode    // Ordered (default) or NB
+
+	// Timeout bounds the whole run; zero derives a generous deadline from
+	// Count/PPS. Settle is how long the receiver may sit with no delivery
+	// progress before the run is declared drained (default 500ms).
+	Timeout time.Duration
+	Settle  time.Duration
+
+	// OnStart, if set, is called once both endpoints are running — the hook
+	// lglive uses to wire up its /metrics server. Cancel, if non-nil, aborts
+	// the run when closed (graceful Ctrl-C); RunDemo then reports what was
+	// delivered so far with Drained=false.
+	OnStart func(sender, receiver *Endpoint)
+	Cancel  <-chan struct{}
+}
+
+func (c *DemoConfig) defaults() error {
+	if c.Count == 0 {
+		return fmt.Errorf("live: demo needs Count > 0")
+	}
+	if c.Size <= 0 {
+		c.Size = 1000
+	}
+	if c.PPS <= 0 {
+		c.PPS = 20000
+	}
+	if c.BurstLen < 1 {
+		c.BurstLen = 4
+	}
+	if c.LinkRate == 0 {
+		c.LinkRate = simtime.Gbps
+	}
+	if c.Settle <= 0 {
+		c.Settle = 500 * time.Millisecond
+	}
+	if c.Timeout <= 0 {
+		offered := time.Duration(float64(c.Count) / c.PPS * float64(time.Second))
+		c.Timeout = 2*offered + 10*time.Second
+	}
+	return nil
+}
+
+// DemoReport is the outcome of one loopback run: the receiver's app-level
+// audit (the acceptance criterion), transport and proxy counters, and full
+// metric snapshots of both endpoints.
+type DemoReport struct {
+	App          AppStats // receiver's delivery audit
+	Offered      uint64   // packets the sending app handed to its stack
+	SenderWire   WireStats
+	ReceiverWire WireStats
+
+	ProxyForwarded uint64
+	ProxyDropped   uint64
+	ProxyDelayed   uint64
+	ProxySwapped   uint64
+
+	Sender   obs.Snapshot
+	Receiver obs.Snapshot
+
+	Elapsed time.Duration
+	Drained bool // receiver reached Offered before the deadline
+}
+
+// Check enforces the strict ordered-mode acceptance criterion: every
+// offered packet delivered exactly once, in order, with nothing the app
+// could notice — no gaps, no duplicates, no reordering.
+func (r *DemoReport) Check() error {
+	if !r.Drained {
+		return fmt.Errorf("live: run did not drain: delivered %d of %d offered (lost=%d) within deadline",
+			r.App.Rx, r.Offered, r.App.Lost)
+	}
+	switch {
+	case r.App.Rx != r.Offered:
+		return fmt.Errorf("live: app delivered %d packets, offered %d", r.App.Rx, r.Offered)
+	case r.App.Lost != 0:
+		return fmt.Errorf("live: %d app-visible lost packets (%d gap events)", r.App.Lost, r.App.Gaps)
+	case r.App.Duplicate != 0:
+		return fmt.Errorf("live: %d duplicate deliveries", r.App.Duplicate)
+	case r.App.OutOfSeq != 0:
+		return fmt.Errorf("live: %d out-of-order deliveries", r.App.OutOfSeq)
+	case r.App.Gaps != 0:
+		return fmt.Errorf("live: %d gap events", r.App.Gaps)
+	}
+	return nil
+}
+
+// String renders the one-screen summary lglive prints at exit.
+func (r *DemoReport) String() string {
+	masked := uint64(0)
+	if r.ProxyDropped > 0 && r.App.Lost == 0 {
+		masked = r.ProxyDropped
+	}
+	return fmt.Sprintf(
+		"offered=%d delivered=%d lost=%d dup=%d ooo=%d gaps=%d | proxy: fwd=%d dropped=%d delayed=%d swapped=%d (masked %d) | wire: tx=%d rx=%d decode_drops=%d | %.2fs",
+		r.Offered, r.App.Rx, r.App.Lost, r.App.Duplicate, r.App.OutOfSeq, r.App.Gaps,
+		r.ProxyForwarded, r.ProxyDropped, r.ProxyDelayed, r.ProxySwapped, masked,
+		r.SenderWire.TxDatagrams, r.ReceiverWire.RxDatagrams, r.ReceiverWire.DecodeDrops,
+		r.Elapsed.Seconds())
+}
+
+// Model builds the proxy's forward-path loss model from the LossRate /
+// Burst / BurstLen knobs (also used by lglive's standalone proxy mode).
+func (c *DemoConfig) Model() simnet.LossModel {
+	if c.LossRate <= 0 {
+		return simnet.NoLoss{}
+	}
+	if c.Burst {
+		return simnet.NewGilbertElliott(c.LossRate, c.BurstLen)
+	}
+	return simnet.IIDLoss{P: c.LossRate}
+}
+
+// RunDemo wires sender → proxy → receiver over localhost UDP (the reverse
+// ACK path runs receiver → sender directly, like the paper's testbed where
+// the attenuator corrupts one direction), offers Count packets, waits for
+// the protected link to drain, and reports. Blocks until done or Timeout.
+func RunDemo(cfg DemoConfig) (*DemoReport, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+
+	sconn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, err
+	}
+	rconn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		_ = sconn.Close()
+		return nil, err
+	}
+	imp := ProxyImpair{Model: cfg.Model(), Jitter: cfg.Jitter, ReorderProb: cfg.Reorder}
+	proxy, err := NewProxy("127.0.0.1:0", rconn.LocalAddr().String(), imp, cfg.Seed+1)
+	if err != nil {
+		_ = sconn.Close()
+		_ = rconn.Close()
+		return nil, err
+	}
+	defer proxy.Close()
+
+	epc := func(app string) EndpointConfig {
+		return EndpointConfig{
+			Seed:     cfg.Seed,
+			LinkRate: cfg.LinkRate,
+			LossRate: cfg.LossRate,
+			Mode:     cfg.Mode,
+			AppHost:  app,
+		}
+	}
+	sender := NewSender(epc("sender-app"), sconn, proxy.Addr())
+	receiver := NewReceiver(epc("receiver-app"), rconn, sconn.LocalAddr().(*net.UDPAddr))
+	defer sender.Stop()
+	defer receiver.Stop()
+
+	start := time.Now()
+	receiver.Start()
+	sender.Start()
+	if cfg.OnStart != nil {
+		cfg.OnStart(sender, receiver)
+	}
+
+	genDone, err := sender.StartGenerator(cfg.Count, cfg.Size, cfg.PPS)
+	if err != nil {
+		return nil, err
+	}
+
+	canceled := false
+	deadline := time.NewTimer(cfg.Timeout)
+	defer deadline.Stop()
+	select {
+	case <-genDone:
+	case <-cfg.Cancel:
+		canceled = true
+	case <-deadline.C:
+		return nil, fmt.Errorf("live: generator did not finish %d packets within %v", cfg.Count, cfg.Timeout)
+	}
+
+	// Drain: the receiver is done when every offered packet is accounted
+	// for as delivered; it has plateaued when delivery stops making
+	// progress for a Settle span (losses past recovery, e.g. a crashed
+	// proxy, would otherwise hang the run until the deadline).
+	report := &DemoReport{}
+	readApp := func() (AppStats, bool) {
+		var a AppStats
+		ok := receiver.Loop.Call(func() { a = receiver.App })
+		return a, ok
+	}
+	lastRx, lastProgress := uint64(0), time.Now()
+poll:
+	for !canceled {
+		a, ok := readApp()
+		if !ok {
+			return nil, fmt.Errorf("live: receiver loop stopped during drain")
+		}
+		if a.Rx >= cfg.Count {
+			report.Drained = true
+			break
+		}
+		if a.Rx > lastRx {
+			lastRx, lastProgress = a.Rx, time.Now()
+		} else if time.Since(lastProgress) > cfg.Settle {
+			break
+		}
+		select {
+		case <-deadline.C:
+			break poll
+		case <-cfg.Cancel:
+			break poll
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+
+	// Let trailing control traffic (final ACK volleys, pause refreshes)
+	// quiesce, then stop both loops before freezing the counters. Stopping
+	// first matters on an overloaded run: a Call must wait its turn behind
+	// the event backlog, while Stop is honored at the next batch boundary —
+	// and once the loop goroutine has exited, its state is safe to read
+	// directly from here.
+	time.Sleep(50 * time.Millisecond)
+	sender.Stop()
+	receiver.Stop()
+
+	report.Elapsed = time.Since(start)
+	report.App = receiver.App
+	report.ReceiverWire = receiver.Wire.Stats
+	report.Receiver = receiver.Reg.Snapshot()
+	report.Offered = sender.App.Tx
+	report.SenderWire = sender.Wire.Stats
+	report.Sender = sender.Reg.Snapshot()
+	report.ProxyForwarded = proxy.Forwarded()
+	report.ProxyDropped = proxy.Dropped()
+	report.ProxyDelayed = proxy.Delayed()
+	report.ProxySwapped = proxy.Swapped()
+	if report.Drained && report.App.Rx > cfg.Count {
+		report.Drained = false // over-delivery is as much a failure as loss
+	}
+	return report, nil
+}

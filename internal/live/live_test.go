@@ -1,0 +1,113 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"linkguardian/internal/obs"
+)
+
+// counter pulls one named counter out of a snapshot.
+func counter(t *testing.T, s obs.Snapshot, name string) uint64 {
+	t.Helper()
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	t.Fatalf("counter %q not in snapshot", name)
+	return 0
+}
+
+// runDemo runs the loopback harness and fails the test on a dirty audit.
+func runDemo(t *testing.T, cfg DemoConfig) *DemoReport {
+	t.Helper()
+	r, err := RunDemo(cfg)
+	if err != nil {
+		t.Fatalf("RunDemo: %v", err)
+	}
+	t.Logf("demo: %s", r)
+	if err := r.Check(); err != nil {
+		t.Fatalf("audit: %v", err)
+	}
+	return r
+}
+
+// A clean path must deliver every packet exactly once with no protocol
+// intervention beyond the steady-state ACK stream.
+func TestLoopbackCleanLink(t *testing.T) {
+	r := runDemo(t, DemoConfig{Seed: 1, Count: 3000, PPS: 30000, Size: 512})
+	if r.ProxyDropped != 0 {
+		t.Fatalf("lossless proxy dropped %d datagrams", r.ProxyDropped)
+	}
+	if got := counter(t, r.Receiver, "live.app.rx"); got != 3000 {
+		t.Fatalf("registry rx = %d, want 3000", got)
+	}
+}
+
+// i.i.d. corruption on the forward path must be fully masked: the proxy
+// visibly drops frames, the sender visibly retransmits, and the app sees
+// nothing.
+func TestLoopbackMasksIIDLoss(t *testing.T) {
+	r := runDemo(t, DemoConfig{Seed: 2, Count: 10000, PPS: 10000, Size: 256, LossRate: 2e-3})
+	if r.ProxyDropped == 0 {
+		t.Fatal("proxy dropped nothing; loss model not exercised")
+	}
+	if retx := counter(t, r.Sender, "lg.retransmits"); retx == 0 {
+		t.Fatal("sender retransmitted nothing despite forward-path drops")
+	}
+	if prot := counter(t, r.Sender, "lg.protected"); prot < 10000 {
+		t.Fatalf("sender protected %d frames, want >= 10000", prot)
+	}
+}
+
+// Bursty corruption plus order-preserving jitter plus occasional adjacent
+// swaps (the reordering a real multi-lane path can produce) must still
+// come out exactly-once and in order.
+func TestLoopbackMasksBurstLossAndJitter(t *testing.T) {
+	r := runDemo(t, DemoConfig{
+		Seed: 3, Count: 15000, PPS: 10000, Size: 256,
+		LossRate: 2e-3, Burst: true, BurstLen: 3,
+		Jitter:  100 * time.Microsecond,
+		Reorder: 0.01,
+	})
+	if r.ProxyDropped == 0 {
+		t.Fatal("burst model dropped nothing")
+	}
+	if r.ProxyDelayed == 0 {
+		t.Fatal("jitter delayed nothing")
+	}
+	if r.ProxySwapped == 0 {
+		t.Fatal("reorder injection swapped nothing")
+	}
+}
+
+// The endpoints must shut down promptly and idempotently, and a stopped
+// loop must refuse further work instead of hanging callers.
+func TestShutdownDeadline(t *testing.T) {
+	start := time.Now()
+	r, err := RunDemo(DemoConfig{Seed: 4, Count: 500, PPS: 20000, Size: 128, LossRate: 1e-3})
+	if err != nil {
+		t.Fatalf("RunDemo: %v", err)
+	}
+	if err := r.Check(); err != nil {
+		t.Fatalf("audit: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("short demo took %v", elapsed)
+	}
+
+	l := NewLoop(0)
+	l.Start()
+	if !l.Call(func() {}) {
+		t.Fatal("Call on a running loop failed")
+	}
+	l.Stop()
+	l.Stop() // must be idempotent
+	if l.Do(func() {}) {
+		t.Fatal("Do succeeded after Stop")
+	}
+	if l.Call(func() {}) {
+		t.Fatal("Call succeeded after Stop")
+	}
+}

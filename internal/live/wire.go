@@ -1,0 +1,144 @@
+package live
+
+import (
+	"net"
+
+	"linkguardian/internal/simnet"
+)
+
+// WireStats counts the transport's activity. All fields are written on the
+// loop goroutine; read them via Loop.Call.
+type WireStats struct {
+	TxDatagrams uint64 // frames encoded and written to the socket
+	RxDatagrams uint64 // datagrams decoded and injected into the ingress MAC
+	TxErrors    uint64 // socket write failures (frame lost — wire loss)
+	DecodeDrops uint64 // datagrams rejected by the codec (corrupt frame)
+	EncodeDrops uint64 // frames the codec refused to emit (config bug)
+}
+
+// Wire binds one wire-facing interface to a UDP socket: the live half of a
+// protected link. Outbound, it is the Link.Carrier — every frame the
+// interface's port finishes serializing is framed by the simnet datagram
+// codec and written to the peer address; the simulated wire (loss models,
+// propagation) is bypassed because the physical path is real. Inbound, a
+// reader goroutine hands each datagram to the loop goroutine, which decodes
+// it into a pooled packet and injects it through Ifc.Receive — counters,
+// PFC absorption and the LinkGuardian ingress hooks all run exactly as if
+// the frame had arrived over a simulated link.
+type Wire struct {
+	Stats WireStats
+
+	loop *Loop
+	ifc  *simnet.Ifc
+	conn *net.UDPConn
+	peer *net.UDPAddr
+
+	// deliverTo is stamped as the destination host on arriving data frames:
+	// an L2 link carries no host routing, so the receiving switch half is
+	// told where its protected traffic terminates.
+	deliverTo string
+
+	encBuf []byte // reused encode buffer; loop goroutine only
+}
+
+// AttachWire connects ifc (the local switch's interface on the protected
+// link, e.g. link.A() of a Connect against a portal node) to the socket.
+// Frames egressing ifc go to peer; datagrams read from conn are injected
+// into ifc's ingress. deliverTo names the host arriving data frames are
+// routed to. Must be called before Loop.Start.
+func AttachWire(loop *Loop, ifc *simnet.Ifc, conn *net.UDPConn, peer *net.UDPAddr, deliverTo string) *Wire {
+	w := &Wire{
+		loop:      loop,
+		ifc:       ifc,
+		conn:      conn,
+		peer:      peer,
+		deliverTo: deliverTo,
+		encBuf:    make([]byte, 0, simnet.MaxLGDatagramBytes),
+	}
+	// Socket buffers sized for bursts: a paced catch-up batch or a
+	// retransmission volley must not shed frames in the kernel. (Losses
+	// there are recovered by the protocol anyway — they are wire losses —
+	// but the smoke tests want the baseline clean.) Errors are ignored:
+	// the OS clamps to its limits.
+	_ = conn.SetReadBuffer(4 << 20)
+	_ = conn.SetWriteBuffer(4 << 20)
+	ifc.Link().Carrier = w.carry
+	go w.readLoop()
+	return w
+}
+
+// carry is the Link.Carrier hook: it runs on the loop goroutine at the end
+// of a frame's serialization, owns the packet, and must dispose of it —
+// the wire is a terminal point of the packet pool's ownership discipline.
+func (w *Wire) carry(pkt *simnet.Packet, from *simnet.Ifc) {
+	defer w.loop.Release(pkt)
+	if from != w.ifc {
+		// The portal end never transmits; a frame here is a topology bug.
+		w.Stats.EncodeDrops++
+		return
+	}
+	payload, _ := pkt.Payload.([]byte)
+	b, err := simnet.AppendLGDatagram(w.encBuf[:0], pkt, payload)
+	if err != nil {
+		w.Stats.EncodeDrops++
+		return
+	}
+	w.encBuf = b[:0]
+	if _, err := w.conn.WriteToUDP(b, w.peer); err != nil {
+		w.Stats.TxErrors++
+		return
+	}
+	w.Stats.TxDatagrams++
+}
+
+// readLoop pulls datagrams off the socket and ships each one — copied, so
+// the read buffer can be reused immediately — to the loop goroutine for
+// decoding. It exits when the socket is closed or the loop stops.
+func (w *Wire) readLoop() {
+	buf := make([]byte, 64<<10)
+	for {
+		n, _, err := w.conn.ReadFromUDP(buf)
+		if err != nil {
+			// The socket is unconnected, so no per-peer ICMP errors surface
+			// here; any error means the socket was closed for shutdown.
+			return
+		}
+		b := make([]byte, n)
+		copy(b, buf[:n])
+		if !w.loop.Do(func() { w.deliver(b) }) {
+			return
+		}
+	}
+}
+
+// deliver decodes one datagram on the loop goroutine and injects the frame
+// into the interface's ingress MAC. Rejected datagrams are dropped and
+// counted — the exact analogue of a frame failing its FCS check.
+func (w *Wire) deliver(b []byte) {
+	pkt := w.loop.NewPacket(simnet.KindData, 0, "")
+	payload, err := simnet.DecodeLGDatagram(b, pkt)
+	if err != nil {
+		w.Stats.DecodeDrops++
+		w.loop.Release(pkt)
+		return
+	}
+	if len(payload) > 0 {
+		pkt.Payload = payload // aliases b, which is owned by this frame
+	}
+	if pkt.Kind == simnet.KindData {
+		pkt.ToHost = w.deliverTo
+	}
+	w.Stats.RxDatagrams++
+	w.ifc.Receive(pkt)
+}
+
+// portal is the stub node on the far end of the wire-facing link. With the
+// Carrier installed it never sees a packet; if one arrives anyway (carrier
+// not yet attached), it is released rather than leaked.
+type portal struct {
+	loop *Loop
+	name string
+}
+
+func (p *portal) HandlePacket(pkt *simnet.Packet, in *simnet.Ifc) { p.loop.Release(pkt) }
+func (p *portal) NodeName() string                                { return p.name }

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// promName sanitizes a registry metric name into the Prometheus exposition
+// alphabet [a-zA-Z0-9_:]: the registry's dotted hierarchy ("lg.protected",
+// "live.app.rx") becomes underscore-separated, and any other illegal rune —
+// including an illegal leading digit — is replaced the same way.
+func promName(name string) string {
+	b := []byte(name)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b[i] = '_'
+			}
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+// promFloat renders a float the way Prometheus expects: shortest exact
+// decimal, with +Inf/-Inf/NaN spelled out.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4). Counters map to counter metrics, gauges to a
+// gauge plus a companion <name>_hwm gauge carrying the high-water mark, and
+// histograms to the usual cumulative _bucket/_sum/_count family.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range s.Counters {
+		n := promName(c.Name)
+		bw.WriteString("# TYPE " + n + " counter\n")
+		bw.WriteString(n + " " + strconv.FormatUint(c.Value, 10) + "\n")
+	}
+	for _, g := range s.Gauges {
+		n := promName(g.Name)
+		bw.WriteString("# TYPE " + n + " gauge\n")
+		bw.WriteString(n + " " + promFloat(g.Value) + "\n")
+		bw.WriteString("# TYPE " + n + "_hwm gauge\n")
+		bw.WriteString(n + "_hwm " + promFloat(g.HWM) + "\n")
+	}
+	for _, h := range s.Histograms {
+		n := promName(h.Name)
+		bw.WriteString("# TYPE " + n + " histogram\n")
+		cum := uint64(0)
+		for i, cnt := range h.Counts {
+			cum += cnt
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = promFloat(h.Bounds[i])
+			}
+			bw.WriteString(n + `_bucket{le="` + le + `"} ` + strconv.FormatUint(cum, 10) + "\n")
+		}
+		bw.WriteString(n + "_sum " + promFloat(h.Sum) + "\n")
+		bw.WriteString(n + "_count " + strconv.FormatUint(h.N, 10) + "\n")
+	}
+	return bw.Flush()
+}
+
+// PrometheusHandler serves snapshots in the text exposition format. The
+// snapshot function runs per request, so the caller decides how registry
+// access is synchronized (e.g. live endpoints snapshot on the loop
+// goroutine); a nil return renders an empty page.
+func PrometheusHandler(snap func() Snapshot) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = snap().WritePrometheus(w)
+	})
+}

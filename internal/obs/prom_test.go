@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// promFixture builds a registry with one metric of each shape.
+func promFixture() *Registry {
+	r := NewRegistry()
+	r.Counter("lg.protected").Add(12345)
+	r.CounterFunc("live.app.rx", func() uint64 { return 77 })
+	g := r.Gauge("lg.tx_buf_bytes")
+	g.Set(2048)
+	g.Set(512)
+	h := r.Histogram("lg.retx_delay_us", 10, 100, 1000)
+	h.Observe(3)
+	h.Observe(42)
+	h.Observe(42)
+	h.Observe(5000)
+	return r
+}
+
+func TestWritePrometheus(t *testing.T) {
+	var sb strings.Builder
+	if err := promFixture().Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	got := sb.String()
+	want := strings.Join([]string{
+		"# TYPE lg_protected counter",
+		"lg_protected 12345",
+		"# TYPE live_app_rx counter",
+		"live_app_rx 77",
+		"# TYPE lg_tx_buf_bytes gauge",
+		"lg_tx_buf_bytes 512",
+		"# TYPE lg_tx_buf_bytes_hwm gauge",
+		"lg_tx_buf_bytes_hwm 2048",
+		"# TYPE lg_retx_delay_us histogram",
+		`lg_retx_delay_us_bucket{le="10"} 1`,
+		`lg_retx_delay_us_bucket{le="100"} 3`,
+		`lg_retx_delay_us_bucket{le="1000"} 3`,
+		`lg_retx_delay_us_bucket{le="+Inf"} 4`,
+		"lg_retx_delay_us_sum 5087",
+		"lg_retx_delay_us_count 4",
+		"",
+	}, "\n")
+	if got != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestPrometheusHandler(t *testing.T) {
+	reg := promFixture()
+	h := PrometheusHandler(func() Snapshot { return reg.Snapshot() })
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	body := rec.Body.String()
+	for _, line := range []string{"lg_protected 12345", `lg_retx_delay_us_bucket{le="+Inf"} 4`} {
+		if !strings.Contains(body, line) {
+			t.Fatalf("body missing %q:\n%s", line, body)
+		}
+	}
+}
+
+func TestPromNameSanitization(t *testing.T) {
+	cases := map[string]string{
+		"lg.protected":   "lg_protected",
+		"9lives":         "_lives",
+		"a-b/c d":        "a_b_c_d",
+		"ok_name:colons": "ok_name:colons",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -18,12 +18,12 @@ func fromAbs(x uint64) Seq {
 func FuzzSeqCompare(f *testing.F) {
 	f.Add(uint64(0), int16(0))
 	f.Add(uint64(1), int16(1))
-	f.Add(uint64(65535), int16(1))        // wrap forward, era toggle
-	f.Add(uint64(65536), int16(-1))       // wrap backward
-	f.Add(uint64(65536+10), int16(-20))   // cross-era behind
-	f.Add(uint64(1<<32-5), int16(100))    // deep counter
-	f.Add(uint64(98304), int16(16383))    // near Half, same era
-	f.Add(uint64(131071), int16(-16383))  // near -Half across era
+	f.Add(uint64(65535), int16(1))       // wrap forward, era toggle
+	f.Add(uint64(65536), int16(-1))      // wrap backward
+	f.Add(uint64(65536+10), int16(-20))  // cross-era behind
+	f.Add(uint64(1<<32-5), int16(100))   // deep counter
+	f.Add(uint64(98304), int16(16383))   // near Half, same era
+	f.Add(uint64(131071), int16(-16383)) // near -Half across era
 	f.Fuzz(func(t *testing.T, x uint64, k int16) {
 		if int(k) >= Half || int(k) <= -Half {
 			t.Skip()

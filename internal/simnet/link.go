@@ -72,6 +72,14 @@ func (i *Ifc) Send(pkt *Packet) bool {
 // transmit the packets it has stamped.
 func (i *Ifc) EnqueueDirect(pkt *Packet) bool { return i.Port.Enqueue(pkt) }
 
+// Receive injects a frame into this interface's ingress MAC exactly as if
+// it had arrived over the attached link: counters, PFC absorption, the
+// OnIngress hook, then normal node processing. It is the inbound half of a
+// live transport (internal/live): a datagram decoded off a real socket
+// enters the dataplane here. The caller transfers ownership of pkt; it must
+// be called on the goroutine driving this topology's event loop.
+func (i *Ifc) Receive(pkt *Packet) { i.receive(pkt, false) }
+
 // receive runs the ingress MAC: counters, corruption drop, PFC absorption,
 // hook dispatch, then normal node processing. Corruption drops and absorbed
 // PFC frames are terminal: the packets go back to the free list.
@@ -145,6 +153,16 @@ type Link struct {
 	// taps observe every frame at its delivery decision point (after the
 	// corruption verdict), in installation order; installed by TapDeliver.
 	taps []func(pkt *Packet, from *Ifc, corrupted bool)
+
+	// Carrier, if set, replaces in-sim propagation: every frame a Port
+	// finishes serializing on this link is handed to the carrier instead of
+	// the loss models and the peer interface. This is the outbound half of a
+	// live transport (internal/live) — the carrier encodes the frame into a
+	// datagram, puts it on a real socket, and owns the packet from then on
+	// (corruption, delay and reordering happen in the physical network, or
+	// in an impairment proxy standing in for the VOA). Loss models, FaultFn,
+	// flap state and taps are all bypassed: the wire is no longer simulated.
+	Carrier func(pkt *Packet, from *Ifc)
 }
 
 // A returns the interface on the first node; B the second.
@@ -200,6 +218,10 @@ func deliverOK(a0, a1 any)      { a0.(*Ifc).receive(a1.(*Packet), false) }
 func deliverCorrupt(a0, a1 any) { a0.(*Ifc).receive(a1.(*Packet), true) }
 
 func (l *Link) deliver(pkt *Packet, from *Ifc) {
+	if l.Carrier != nil {
+		l.Carrier(pkt, from)
+		return
+	}
 	to := l.b
 	model := l.lossAB
 	if from == l.b {

@@ -108,3 +108,15 @@ func (s *Sim) pktID() uint64 {
 	s.nextPktID++
 	return s.nextPktID
 }
+
+// ClonePacket is the method form of Packet.Clone, so schedulers exposing the
+// core.Runtime seam (this Sim, and the live runtime wrapping it) offer
+// cloning without the caller naming the concrete *Sim.
+func (s *Sim) ClonePacket(p *Packet) *Packet { return p.Clone(s) }
+
+// Loopback is the method form of the package-level Loopback constructor,
+// part of the core.Runtime seam: protocol code can attach a recirculation
+// port without holding the concrete *Sim.
+func (s *Sim) Loopback(n Node, rate simtime.Rate, delay simtime.Duration) *Ifc {
+	return Loopback(s, n, rate, delay)
+}
