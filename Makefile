@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 build vet test race bench bench-smoke chaos cover fuzz live-smoke clean
+.PHONY: all tier1 build vet test race bench bench-smoke bench-par-smoke chaos cover fuzz live-smoke clean
 
 all: tier1
 
@@ -19,26 +19,34 @@ vet:
 test:
 	$(GO) test ./...
 
-# Race job for the concurrent packages: the parallel engine itself and the
-# experiment layer that fans out across it. The experiments run is filtered
-# to the determinism tests (the ones that exercise multi-worker execution)
-# because the full suite under -race takes many minutes.
+# Race job for the concurrent packages: the parallel engine itself, the
+# experiment layer that fans out across it, and the sharded simulation
+# engine's determinism regressions (worker/shard invariance is exactly the
+# property a data race would break first). Runs are filtered to the
+# multi-worker tests because the full suite under -race takes many minutes.
 race:
 	$(GO) test -race ./internal/parallel
-	$(GO) test -race -run 'TestParallel.*MatchesSerial' ./internal/experiments
+	$(GO) test -race -run 'TestParallel.*MatchesSerial|TestFabricStressShardInvariance' ./internal/experiments
+	$(GO) test -race -run 'TestEngine' ./internal/simnet
 	$(GO) test -race -count=1 ./internal/live
 
-# Full hot-path benchmark; records the result (with the pre-optimization
-# baseline and speedup) as BENCH_4.json at the repository root.
+# Full hot-path benchmarks (sequential + sharded-parallel engines);
+# time-based samples, best-of-3 with recorded variance, written as
+# BENCH_6.json at the repository root.
 bench:
 	./scripts/bench.sh
 	$(GO) test -bench . -run '^$$' ./internal/eventq
 
-# CI gate: one benchmark iteration, failing if allocs/op regresses against
+# CI gates: one benchmark iteration, failing if allocs/op regresses against
 # the committed budgets in scripts/bench_baseline.txt. Throughput is not
 # gated (machine-dependent); the allocation count is deterministic.
+# bench-smoke covers the sequential engine, bench-par-smoke the sharded
+# parallel engine's cross-shard handoff path.
 bench-smoke:
 	./scripts/benchsmoke.sh
+
+bench-par-smoke:
+	./scripts/benchsmoke.sh BenchmarkParHotPath_PktsPerSec
 
 # Ratcheted per-package coverage gate. Floors live in
 # scripts/coverage_thresholds.txt; raise them as coverage improves.

@@ -9,6 +9,9 @@
 //	chaos -gen 17 [-seed 1]             run generated scenario #17 of the seed
 //	chaos -soak 200 [-seed 1] [-workers 8]
 //	                                    sweep generated scenarios in parallel
+//	chaos -scenario spike -fabric 4 [-shards 4]
+//	                                    run one scenario on every segment of a
+//	                                    multi-segment fabric (sharded engine)
 //
 // A failing soak scenario is reproduced exactly by rerunning its index with
 // the same master seed: chaos -gen <i> -seed <master>.
@@ -38,6 +41,8 @@ func main() {
 	soak := flag.Int("soak", 0, "number of generated scenarios to sweep")
 	seed := flag.Int64("seed", 1, "scenario seed (soak/gen: master seed)")
 	workers := flag.Int("workers", 0, "soak worker count (0 = all cores)")
+	fabric := flag.Int("fabric", 0, "run -scenario on an N-segment fabric (sharded engine)")
+	shards := flag.Int("shards", 1, "fabric: concurrent shard executions (never changes results)")
 	artifacts := flag.String("artifacts", "", "flight-recorder directory for failing scenarios")
 	tracePath := flag.String("trace", "", "single run: write the protected link's trace (.jsonl = JSONL, else Chrome trace_event)")
 	traceCap := flag.Int("trace-cap", 0, "trace ring capacity (0 = default 2048)")
@@ -67,6 +72,10 @@ func main() {
 		sc, ok := chaos.Named(*scenario, *seed)
 		if !ok {
 			log.Fatalf("unknown scenario %q (try -list)", *scenario)
+		}
+		if *fabric > 1 {
+			runFabric(sc, *fabric, *shards, *metricsOut, stopProf)
+			return
 		}
 		run(sc, opts, *tracePath, *metricsOut, stopProf)
 
@@ -119,6 +128,22 @@ func run(sc chaos.Scenario, opts chaos.RunOpts, tracePath, metricsOut string, st
 		if r.Artifact != "" {
 			fmt.Printf("artifact: %s\n", r.Artifact)
 		}
+		os.Exit(1)
+	}
+}
+
+func runFabric(sc chaos.Scenario, nsegs, shards int, metricsOut string, stopProf func() error) {
+	fmt.Printf("scenario %s seed=%d rate=%v frame=%dB load=%.2f window=%v steps=%d fabric=%d shards=%d\n",
+		sc.Name, sc.Seed, sc.Rate, sc.FrameSize, sc.LoadFrac, sc.Window, len(sc.Steps), nsegs, shards)
+	fr := chaos.RunFabric(sc, nsegs, shards)
+	finishProfiles(stopProf)
+	if metricsOut != "" {
+		if err := obs.WriteMetricsFile(metricsOut, fr.Metrics); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println(fr)
+	if fr.Failed() {
 		os.Exit(1)
 	}
 }

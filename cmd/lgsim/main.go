@@ -6,12 +6,18 @@
 //
 //	lgsim [-rate 100G] [-loss 1e-3] [-mode ordered|nb] [-duration 20ms]
 //	      [-frame 1518] [-target 1e-8] [-seed 1]
+//	      [-segments 1] [-shards 1]
 //	      [-trace out.json] [-trace-cap 4096] [-metrics-out metrics.json]
 //	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // -trace writes the protected link's trace ring: a ".jsonl" path gets one
 // JSON object per line; any other extension gets the Chrome trace_event
 // format that Perfetto loads directly.
+//
+// -segments > 1 runs the multi-segment fabric — N copies of the testbed
+// joined in a ring of cross-shard links — on the sharded conservative
+// engine; -shards caps how many shards execute concurrently (default 1 =
+// sequential). The shard cap never changes results, only wall time.
 package main
 
 import (
@@ -40,6 +46,8 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write the run's metrics snapshot as JSON")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile")
 	memprofile := flag.String("memprofile", "", "write a heap profile")
+	segments := flag.Int("segments", 1, "fabric segments (>1 runs the multi-segment fabric on the sharded engine)")
+	shards := flag.Int("shards", 1, "concurrent shard executions of the sharded engine (never changes results)")
 	flag.Parse()
 
 	rate, err := parseRate(*rateStr)
@@ -60,6 +68,31 @@ func main() {
 	if *tracePath != "" {
 		opts.TraceCap = *traceCap
 	}
+
+	if *segments > 1 {
+		fres := experiments.RunFabricStress(*seed, *segments, *shards, rate, *loss, simtime.Duration(*duration), opts)
+		if err := stopProf(); err != nil {
+			log.Fatal(err)
+		}
+		if *metricsOut != "" {
+			if err := obs.WriteMetricsFile(*metricsOut, fres.Metrics); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("fabric          : %d segments, %v, loss %.0e, shards cap %d\n", *segments, rate, *loss, *shards)
+		for i := 0; i < fres.Segments; i++ {
+			fmt.Printf("segment s%d      : sent %d + cross %d, delivered %d\n",
+				i, fres.Sent[i], fres.CrossTx[(i+fres.Segments-1)%fres.Segments], fres.Received[i])
+		}
+		for i := 0; i < fres.Segments; i++ {
+			p := fmt.Sprintf("engine.shard%d", i)
+			fmt.Printf("shard %d         : windows %d, stalls %d, handoffs out %d / in %d\n",
+				i, fres.Metrics.Counter(p+".windows"), fres.Metrics.Counter(p+".lookahead_stalls"),
+				fres.Metrics.Counter(p+".handoffs_out"), fres.Metrics.Counter(p+".handoffs_in"))
+		}
+		return
+	}
+
 	cfg := core.NewConfig(rate, *loss)
 	cfg.Mode = mode
 	cfg.TargetLossRate = *target

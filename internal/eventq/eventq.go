@@ -73,7 +73,8 @@ func (t Timer) At() int64 {
 
 // Queue is a time-ordered event queue. The zero value is ready to use.
 // Queue is not safe for concurrent use; a simulation run is single-threaded
-// by design (independent queues may run on concurrent goroutines).
+// by design (independent queues may run on concurrent goroutines — the
+// sharded engine in internal/simnet runs one Queue per topology shard).
 type Queue struct {
 	h      []*event
 	free   *event
@@ -82,11 +83,26 @@ type Queue struct {
 	nfired uint64
 	live   int // scheduled and neither canceled nor fired
 
+	// shard is the owning shard's id plus one when the queue belongs to a
+	// parallel-engine shard (SetShard), zero for a standalone global queue.
+	// Diagnostics include it so a Drain panic inside one shard of a
+	// parallel run names the shard and its local clock instead of
+	// masquerading as a single global queue.
+	shard int
+
 	// OnBudgetExceeded, if set, observes the queue diagnostics just before
 	// Drain panics on budget exhaustion — the flight-recorder hook, letting
 	// a run dump its trace ring and metrics snapshot before dying.
 	OnBudgetExceeded func(diag string)
 }
+
+// SetShard marks the queue as owned by shard id of a parallel engine; the
+// id and the shard's local clock then appear in Drain-panic diagnostics.
+func (q *Queue) SetShard(id int) { q.shard = id + 1 }
+
+// Shard returns the owning shard id set by SetShard, or -1 for a
+// standalone (single global queue) simulation.
+func (q *Queue) Shard() int { return q.shard - 1 }
 
 // Now returns the current simulated time in nanoseconds: the firing time of
 // the most recently dispatched event.
@@ -221,6 +237,52 @@ func (q *Queue) RunUntil(deadline int64) {
 	}
 }
 
+// RunBefore fires every event strictly before limit in one batched pass and
+// advances Now to limit. It is the shard-window primitive of the parallel
+// engine: a shard executes all events inside its lookahead-safe window
+// [Now, limit) with a single tight loop — no per-event purge pass, no
+// per-event dispatch-function call — amortizing the heap bookkeeping that
+// Step pays per event. On return Now == limit (the window's end), so the
+// next window's cross-shard arrivals, all stamped at or after limit by the
+// lookahead guarantee, can be scheduled without time running backwards. It
+// returns the number of events fired.
+func (q *Queue) RunBefore(limit int64) int {
+	fired := 0
+	for len(q.h) > 0 {
+		e := q.h[0]
+		if e.dead() { // lazily canceled; reclaim silently
+			q.popRoot()
+			q.recycle(e)
+			continue
+		}
+		if e.at >= limit {
+			break
+		}
+		q.popRoot()
+		q.now = e.at
+		fn, fn2, a0, a1 := e.fn, e.fn2, e.a0, e.a1
+		e.fn = nil
+		e.fn2 = nil
+		e.a0, e.a1 = nil, nil
+		e.gen++
+		q.live--
+		q.nfired++
+		// Recycle before dispatch: fn may Schedule and immediately reuse
+		// this slot, which is safe now that the generation has advanced.
+		q.recycle(e)
+		if fn2 != nil {
+			fn2(a0, a1)
+		} else {
+			fn()
+		}
+		fired++
+	}
+	if q.now < limit {
+		q.now = limit
+	}
+	return fired
+}
+
 // NextAt reports the firing time of the earliest pending event. ok is false
 // when no live events remain. Real-time executors (internal/live) use it to
 // set their wall-clock wakeup; the discrete-event Run/Drain loops never need
@@ -261,7 +323,10 @@ func (q *Queue) Drain(maxEvents int64) {
 func (q *Queue) Diagnostics(k int) string { return q.diagnose(k) }
 
 // diagnose summarizes queue state for the Drain panic: the current time,
-// how many live events are pending, and the earliest k deadlines.
+// how many live events are pending, and the earliest k deadlines. A queue
+// owned by a parallel-engine shard (SetShard) leads with the shard id and
+// labels the time as that shard's local clock — under the sharded engine
+// there is no single global queue for the old message to describe.
 func (q *Queue) diagnose(k int) string {
 	next := make([]int64, 0, len(q.h))
 	for _, e := range q.h {
@@ -272,6 +337,10 @@ func (q *Queue) diagnose(k int) string {
 	sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
 	if len(next) > k {
 		next = next[:k]
+	}
+	if q.shard > 0 {
+		return fmt.Sprintf("shard %d: shard clock=%dns, %d live events, next deadlines (ns): %v",
+			q.shard-1, q.now, q.live, next)
 	}
 	return fmt.Sprintf("now=%dns, %d live events, next deadlines (ns): %v",
 		q.now, q.live, next)

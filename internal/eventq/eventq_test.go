@@ -485,3 +485,97 @@ func TestScheduleCallZeroAllocsSteadyState(t *testing.T) {
 		t.Fatal("typed handler never ran")
 	}
 }
+
+// RunBefore is the shard-window primitive: it must fire exactly the events
+// strictly before the limit, in (time, seq) order, leave later events
+// pending, and advance Now to the window end so arrivals stamped at the
+// limit can be scheduled without "past" panics.
+func TestRunBeforeWindowExclusive(t *testing.T) {
+	var q Queue
+	var got []int64
+	rec := func(at int64) func() { return func() { got = append(got, at) } }
+	for _, at := range []int64{5, 10, 10, 15, 20, 25} {
+		q.Schedule(at, rec(at))
+	}
+	fired := q.RunBefore(20)
+	want := []int64{5, 10, 10, 15}
+	if fired != len(want) {
+		t.Fatalf("fired %d events, want %d", fired, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("firing order %v, want %v", got, want)
+		}
+	}
+	if q.Now() != 20 {
+		t.Fatalf("Now = %d after RunBefore(20), want 20", q.Now())
+	}
+	if q.Len() != 2 {
+		t.Fatalf("%d events pending, want 2 (at 20 and 25)", q.Len())
+	}
+	// The window-boundary arrival: scheduling at exactly the limit is legal.
+	q.Schedule(20, rec(20))
+	q.RunBefore(26)
+	if len(got) != 7 || got[4] != 20 || got[5] != 20 || got[6] != 25 {
+		t.Fatalf("after second window got %v", got)
+	}
+}
+
+// A canceled root must not count as fired and must be reclaimed silently by
+// the batched pass.
+func TestRunBeforeSkipsCanceled(t *testing.T) {
+	var q Queue
+	n := 0
+	tm := q.Schedule(5, func() { n += 100 })
+	q.Schedule(6, func() { n++ })
+	q.Cancel(tm)
+	if fired := q.RunBefore(10); fired != 1 || n != 1 {
+		t.Fatalf("fired=%d n=%d, want 1/1", fired, n)
+	}
+}
+
+// RunBefore is on the parallel hot path: steady-state windows must not
+// allocate.
+func TestRunBeforeZeroAllocsSteadyState(t *testing.T) {
+	var q Queue
+	type payload struct{ n int }
+	p := &payload{}
+	fn := func(a0, _ any) { a0.(*payload).n++ }
+	for i := 0; i < 64; i++ {
+		q.ScheduleCall(q.Now()+int64(i), fn, p, nil)
+	}
+	q.Drain(0)
+	allocs := testing.AllocsPerRun(10000, func() {
+		at := q.Now()
+		q.ScheduleCall(at+1, fn, p, nil)
+		q.ScheduleCall(at+2, fn, p, nil)
+		q.RunBefore(at + 3)
+	})
+	if allocs != 0 {
+		t.Fatalf("RunBefore window allocates %.1f objects/op in steady state, want 0", allocs)
+	}
+}
+
+// A queue owned by a parallel-engine shard reports the shard id and its
+// local clock in diagnostics; a standalone queue keeps the old message.
+func TestDiagnosticsShardLabel(t *testing.T) {
+	var q Queue
+	if q.Shard() != -1 {
+		t.Fatalf("standalone queue Shard() = %d, want -1", q.Shard())
+	}
+	q.Schedule(40, func() {})
+	if d := q.Diagnostics(3); strings.Contains(d, "shard") {
+		t.Fatalf("standalone diagnostics mention a shard: %q", d)
+	}
+	q.SetShard(3)
+	if q.Shard() != 3 {
+		t.Fatalf("Shard() = %d, want 3", q.Shard())
+	}
+	d := q.Diagnostics(3)
+	if !strings.Contains(d, "shard 3") || !strings.Contains(d, "shard clock=0ns") {
+		t.Fatalf("sharded diagnostics missing shard id or clock: %q", d)
+	}
+	if !strings.Contains(d, "[40]") {
+		t.Fatalf("sharded diagnostics lost the deadlines: %q", d)
+	}
+}

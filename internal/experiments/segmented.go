@@ -1,0 +1,347 @@
+package experiments
+
+import (
+	"fmt"
+
+	"linkguardian/internal/core"
+	"linkguardian/internal/obs"
+	"linkguardian/internal/simnet"
+	"linkguardian/internal/simtime"
+	"linkguardian/internal/stats"
+	"linkguardian/internal/transport"
+)
+
+// SegmentCrossDelay is the propagation delay of the inter-segment links —
+// a few switch hops of fiber, and the engine's lookahead window: every
+// shard runs 5µs of simulated time between barriers.
+const SegmentCrossDelay = 5 * simtime.Microsecond
+
+// Segmented is the multi-segment fabric: n copies of the Figure 7 testbed
+// (segment i's nodes are named "s<i>.h1" etc.), each on its own shard of a
+// parallel engine, with the segments' switches joined in a unidirectional
+// ring of cross-shard links (sw6 of segment i feeds sw2 of segment i+1).
+// Cross-segment traffic therefore traverses the protected LinkGuardian
+// links of every segment it passes through, so parallel execution
+// exercises the full protocol, not just plain forwarding.
+//
+// The engine's worker cap (the -shards flag of the cmd binaries) never
+// changes results: the partition — one segment per shard — and the
+// per-shard seeds are fixed by (seed, n) alone.
+type Segmented struct {
+	Eng  *simnet.Engine
+	Segs []*Testbed
+	// Cross[i] joins Segs[i].SW6 to Segs[(i+1)%n].SW2; empty when n == 1.
+	Cross []*simnet.Link
+
+	rate simtime.Rate
+}
+
+// NewSegmented builds an n-segment fabric. Shard i is seeded with
+// parallel.SeedFor(seed, i); workers caps concurrent shard execution
+// (0 or 1 = sequential).
+func NewSegmented(seed int64, n, workers int, rate simtime.Rate, cfg core.Config) *Segmented {
+	if n < 1 {
+		n = 1
+	}
+	eng := simnet.NewEngine(seed, n)
+	if workers > 0 {
+		eng.SetWorkers(workers)
+	}
+	f := &Segmented{Eng: eng, rate: rate}
+	for i := 0; i < n; i++ {
+		f.Segs = append(f.Segs, NewTestbedOn(eng.Shard(i).Sim, fmt.Sprintf("s%d.", i), rate, cfg))
+	}
+	if n == 1 {
+		return f
+	}
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		f.Cross = append(f.Cross, eng.Connect(i, f.Segs[i].SW6, j, f.Segs[j].SW2, rate, SegmentCrossDelay))
+	}
+	// Foreign destinations ride the ring: out the local protected link to
+	// sw6, across to the next segment's sw2, and onward until the owning
+	// segment routes them locally.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			for _, h := range []*simnet.Host{f.Segs[j].H1, f.Segs[j].H2} {
+				f.Segs[i].SW2.AddRoute(h.NodeName(), f.Segs[i].Link.A())
+				f.Segs[i].SW6.AddRoute(h.NodeName(), f.Cross[i].A())
+			}
+		}
+	}
+	return f
+}
+
+// SetLoss installs an i.i.d. corruption model on every protected
+// direction.
+func (f *Segmented) SetLoss(p float64) {
+	for _, tb := range f.Segs {
+		tb.SetLoss(p)
+	}
+}
+
+// EnableAll activates LinkGuardian on every segment's protected link.
+func (f *Segmented) EnableAll() {
+	for _, tb := range f.Segs {
+		tb.LG.Enable()
+	}
+}
+
+// crossGen streams frames from one segment's h1 to the next segment's h2,
+// so every frame crosses at least one shard boundary (and both segments'
+// protected links). The typed re-arm keeps it allocation-free in steady
+// state, like the in-segment Generator.
+type crossGen struct {
+	sim      *simnet.Sim
+	src      *simnet.Host
+	dst      string
+	size     int
+	interval simtime.Duration
+	sent     uint64
+	running  bool
+}
+
+func crossGenTick(a0, _ any) {
+	g := a0.(*crossGen)
+	if !g.running {
+		return
+	}
+	pkt := g.sim.NewPacket(simnet.KindData, g.size, g.dst)
+	pkt.FlowID = -2
+	g.src.Send(pkt)
+	g.sent++
+	g.sim.AfterCall(g.interval, crossGenTick, g, nil)
+}
+
+// CrossTraffic starts a generator in every segment sending frameBytes
+// frames to the next segment's h2 at frac of line rate, and returns a stop
+// function plus a per-segment sent counter accessor. With n == 1 the
+// "next" segment is the segment itself, so the traffic still flows (purely
+// locally), keeping single-segment runs comparable.
+func (f *Segmented) CrossTraffic(frameBytes int, frac float64) (stop func(), sent func(i int) uint64) {
+	if frac <= 0 || frac > 1 {
+		frac = 1
+	}
+	gens := make([]*crossGen, len(f.Segs))
+	for i, tb := range f.Segs {
+		dst := f.Segs[(i+1)%len(f.Segs)].H2
+		g := &crossGen{
+			sim:      tb.Sim,
+			src:      tb.H1,
+			dst:      dst.NodeName(),
+			size:     frameBytes,
+			interval: simtime.Duration(float64(f.rate.Serialize(simtime.WireBytes(frameBytes))) / frac),
+			running:  true,
+		}
+		tb.Sim.AfterCall(0, crossGenTick, g, nil)
+		gens[i] = g
+	}
+	return func() {
+			for _, g := range gens {
+				g.running = false
+			}
+		}, func(i int) uint64 {
+			return gens[i].sent
+		}
+}
+
+// CountReceivedAll attaches counting sinks on every segment's h2.
+func (f *Segmented) CountReceivedAll() (pkts []*uint64, bytes []*uint64) {
+	for _, tb := range f.Segs {
+		p, b := tb.CountReceived()
+		pkts = append(pkts, p)
+		bytes = append(bytes, b)
+	}
+	return pkts, bytes
+}
+
+// Register exposes every segment's LinkGuardian metrics and protected link
+// plus the engine's per-shard counters on one registry, with per-segment
+// prefixes, so fabric snapshots merge and compare deterministically.
+func (f *Segmented) Register(reg *obs.Registry) {
+	for i, tb := range f.Segs {
+		p := fmt.Sprintf("s%d", i)
+		tb.LG.M.Register(reg, p+".lg")
+		obs.RegisterLink(reg, p+".link", tb.Link)
+	}
+	obs.RegisterEngine(reg, "engine", f.Eng)
+}
+
+// FabricStressResult is one RunFabricStress outcome: per-segment delivery
+// counts plus the run's obs snapshot (protocol, link and engine metrics).
+type FabricStressResult struct {
+	Segments int
+	Sent     []uint64 // per-segment protected-link generator frames
+	CrossTx  []uint64 // per-segment cross-traffic frames injected
+	Received []uint64 // per-segment frames delivered to h2
+	Metrics  obs.Snapshot
+}
+
+func (r FabricStressResult) String() string {
+	total := uint64(0)
+	for _, n := range r.Received {
+		total += n
+	}
+	return fmt.Sprintf("segments=%d delivered=%d", r.Segments, total)
+}
+
+// RunFabricStress drives every segment's protected link at frac of line
+// rate with LinkGuardian enabled under the given corruption rate, with
+// cross-segment traffic at a tenth of that load, for the given window —
+// the fabric analogue of the §4.1 stress test and the workload behind
+// BenchmarkParHotPath_PktsPerSec.
+func RunFabricStress(seed int64, nsegs, workers int, rate simtime.Rate, lossRate float64, duration simtime.Duration, opts StressOpts) FabricStressResult {
+	cfg := core.NewConfig(rate, lossRate)
+	f := NewSegmented(seed, nsegs, workers, rate, cfg)
+	defer f.Eng.Close()
+	f.SetLoss(lossRate)
+	f.EnableAll()
+	rx, _ := f.CountReceivedAll()
+
+	reg := obs.NewRegistry()
+	f.Register(reg)
+
+	gens := make([]*Generator, nsegs)
+	for i, tb := range f.Segs {
+		gens[i] = tb.StartGeneratorAt(opts.FrameSize, 0.9)
+	}
+	stopCross, crossSent := f.CrossTraffic(opts.FrameSize, 0.1)
+
+	f.Eng.RunFor(duration)
+	for _, g := range gens {
+		g.Stop()
+	}
+	stopCross()
+	f.Eng.RunFor(duration/2 + 10*simtime.Millisecond)
+
+	res := FabricStressResult{Segments: nsegs}
+	for i := range f.Segs {
+		res.Sent = append(res.Sent, gens[i].Sent())
+		res.CrossTx = append(res.CrossTx, crossSent(i))
+		res.Received = append(res.Received, *rx[i])
+	}
+	reg.Sample()
+	res.Metrics = reg.Snapshot()
+	return res
+}
+
+// RunFabricFCT is the fabric flow-completion-time experiment: every
+// segment runs its own sequence of flows over its protected lossy link —
+// exactly runFCTBlock's workload — while cross-segment background traffic
+// at crossFrac of line rate flows through the ring, so every segment's
+// FCTs feel the transit load and the whole fabric advances in lockstep on
+// the parallel engine. Results are per segment, in segment order;
+// the worker cap never changes a byte of them.
+func RunFabricFCT(tr Transport, prot Protection, opts FCTOpts, nsegs, workers int, crossFrac float64) []FCTResult {
+	cfg := core.NewConfig(opts.Rate, opts.LossRate)
+	if prot == LGNB {
+		cfg.Mode = core.NonBlocking
+	}
+	f := NewSegmented(opts.Seed, nsegs, workers, opts.Rate, cfg)
+	defer f.Eng.Close()
+	if prot != NoLoss {
+		f.SetLoss(opts.LossRate)
+	}
+	if prot == LG || prot == LGNB {
+		f.EnableAll()
+	}
+	if crossFrac > 0 {
+		stop, _ := f.CrossTraffic(simtime.MTUFrame, crossFrac)
+		defer stop()
+	}
+
+	type segRun struct {
+		blk   fctBlock
+		trial int
+	}
+	runs := make([]*segRun, nsegs)
+	for i, tb := range f.Segs {
+		tb, sr := tb, &segRun{}
+		sr.blk.fcts = make([]float64, 0, opts.Trials)
+		runs[i] = sr
+		if prot != NoLoss {
+			sr.blk.dropped = make([][]int, opts.Trials)
+			inner := simnet.LossModel(simnet.IIDLoss{P: opts.LossRate})
+			tb.Link.DropFn = func(p *simnet.Packet, fr *simnet.Ifc) bool {
+				if fr != tb.Link.A() {
+					return false
+				}
+				// Cross-segment transit frames stay on the stochastic
+				// model; only this segment's own flows feed the per-trial
+				// drop log.
+				drop := inner.Drops(tb.Sim.Rng)
+				if drop && sr.trial < len(sr.blk.dropped) && p.FlowID > 0 {
+					if d, ok := p.Payload.(transport.SegmentInfo); ok {
+						sr.blk.dropped[sr.trial] = append(sr.blk.dropped[sr.trial], d.Index())
+					}
+				}
+				return drop
+			}
+		}
+		launchFlow(tr, tb, opts, &sr.blk, &sr.trial)
+	}
+
+	deadline := f.Eng.Now().Add(simtime.Duration(opts.Trials)*(50*simtime.Millisecond+opts.Gap) + simtime.Second)
+	pending := func() bool {
+		for _, sr := range runs {
+			if sr.trial < opts.Trials {
+				return true
+			}
+		}
+		return false
+	}
+	for pending() && f.Eng.Now().Before(deadline) {
+		f.Eng.RunFor(2 * simtime.Millisecond)
+	}
+
+	out := make([]FCTResult, nsegs)
+	for i, sr := range runs {
+		out[i] = FCTResult{Transport: tr, Protection: prot, FlowSize: opts.FlowSize}
+		out[i].Flows = sr.blk.flows
+		if prot != NoLoss {
+			out[i].DroppedSegs = sr.blk.dropped
+		}
+		out[i].FCTs = stats.NewDist(sr.blk.fcts)
+		out[i].Trials = len(sr.blk.fcts)
+	}
+	return out
+}
+
+// launchFlow starts the trial chain on one testbed: each completion
+// records its stats and schedules the next launch after the gap, exactly
+// as runFCTBlock does.
+func launchFlow(tr Transport, tb *Testbed, opts FCTOpts, blk *fctBlock, trial *int) {
+	var launch func()
+	done := func(st transport.FlowStats) {
+		blk.fcts = append(blk.fcts, st.FCT.Seconds()*1e6)
+		blk.flows = append(blk.flows, st)
+		*trial++
+		if *trial < opts.Trials {
+			tb.Sim.After(opts.Gap, launch)
+		}
+	}
+	launch = func() {
+		flowID := *trial + 1
+		switch tr {
+		case TransRDMA:
+			transport.StartRDMAWrite(tb.Sim, tb.EP1, tb.EP2, flowID, opts.FlowSize, transport.DefaultRDMAOpts(), done)
+		case TransRDMASR:
+			o := transport.DefaultRDMAOpts()
+			o.SelectiveRepeat = true
+			transport.StartRDMAWrite(tb.Sim, tb.EP1, tb.EP2, flowID, opts.FlowSize, o, done)
+		default:
+			v := transport.DCTCP
+			switch tr {
+			case TransCubic:
+				v = transport.Cubic
+			case TransBBR:
+				v = transport.BBR
+			}
+			transport.StartTCPFlow(tb.Sim, tb.EP1, tb.EP2, flowID, opts.FlowSize, transport.DefaultTCPOpts(v), done)
+		}
+	}
+	launch()
+}

@@ -28,19 +28,26 @@ type Testbed struct {
 // NewTestbed builds the testbed at the given link speed with a LinkGuardian
 // instance (initially dormant) configured by cfg.
 func NewTestbed(seed int64, rate simtime.Rate, cfg core.Config) *Testbed {
-	s := simnet.NewSim(seed)
+	return NewTestbedOn(simnet.NewSim(seed), "", rate, cfg)
+}
+
+// NewTestbedOn builds the testbed inside an existing simulation universe —
+// one shard of a parallel engine, typically — with every node name
+// prefixed (e.g. "s3." gives hosts s3.h1/s3.h2). The empty prefix
+// reproduces NewTestbed's names exactly, so golden traces are unaffected.
+func NewTestbedOn(s *simnet.Sim, prefix string, rate simtime.Rate, cfg core.Config) *Testbed {
 	tb := &Testbed{Sim: s, rate: rate}
-	tb.H1 = simnet.NewHost(s, "h1")
-	tb.H2 = simnet.NewHost(s, "h2")
-	tb.SW2 = simnet.NewSwitch(s, "sw2")
-	tb.SW6 = simnet.NewSwitch(s, "sw6")
+	tb.H1 = simnet.NewHost(s, prefix+"h1")
+	tb.H2 = simnet.NewHost(s, prefix+"h2")
+	tb.SW2 = simnet.NewSwitch(s, prefix+"sw2")
+	tb.SW6 = simnet.NewSwitch(s, prefix+"sw6")
 	l1 := simnet.Connect(s, tb.H1, tb.SW2, rate, 100*simtime.Nanosecond)
 	tb.Link = simnet.Connect(s, tb.SW2, tb.SW6, rate, 100*simtime.Nanosecond)
 	l2 := simnet.Connect(s, tb.SW6, tb.H2, rate, 100*simtime.Nanosecond)
-	tb.SW2.AddRoute("h2", tb.Link.A())
-	tb.SW2.AddRoute("h1", l1.B())
-	tb.SW6.AddRoute("h2", l2.A())
-	tb.SW6.AddRoute("h1", tb.Link.B())
+	tb.SW2.AddRoute(tb.H2.NodeName(), tb.Link.A())
+	tb.SW2.AddRoute(tb.H1.NodeName(), l1.B())
+	tb.SW6.AddRoute(tb.H2.NodeName(), l2.A())
+	tb.SW6.AddRoute(tb.H1.NodeName(), tb.Link.B())
 	tb.LG = core.Protect(s, tb.Link.A(), cfg)
 	tb.EP1 = transport.NewEndpoint(s, tb.H1)
 	tb.EP2 = transport.NewEndpoint(s, tb.H2)
@@ -61,6 +68,7 @@ func (tb *Testbed) SetLoss(p float64) {
 // exactly line rate.
 type Generator struct {
 	tb       *Testbed
+	dst      string
 	size     int
 	interval simtime.Duration
 	sent     uint64
@@ -79,7 +87,7 @@ func (tb *Testbed) StartGeneratorAt(frameBytes int, frac float64) *Generator {
 	if frac <= 0 || frac > 1 {
 		frac = 1
 	}
-	g := &Generator{tb: tb, size: frameBytes, running: true}
+	g := &Generator{tb: tb, dst: tb.H2.NodeName(), size: frameBytes, running: true}
 	g.interval = simtime.Duration(float64(tb.rate.Serialize(simtime.WireBytes(frameBytes))) / frac)
 	tb.Sim.AfterCall(0, genTick, g, nil)
 	return g
@@ -93,7 +101,7 @@ func genTick(a0, _ any) {
 	if !g.running {
 		return
 	}
-	pkt := g.tb.Sim.NewPacket(simnet.KindData, g.size, "h2")
+	pkt := g.tb.Sim.NewPacket(simnet.KindData, g.size, g.dst)
 	pkt.FlowID = -1
 	g.tb.Link.A().Send(pkt)
 	g.sent++

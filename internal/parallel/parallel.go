@@ -18,7 +18,10 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -79,16 +82,20 @@ func ForEach(n int, fn func(i int)) {
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for g := 0; g < w; g++ {
-		go func() {
+		go func(g int) {
 			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
+			// Label the worker so CPU/goroutine profiles attribute samples
+			// to the experiment fan-out rather than an anonymous goroutine.
+			pprof.Do(context.Background(), pprof.Labels("parallel-worker", strconv.Itoa(g)), func(context.Context) {
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					fn(i)
 				}
-				fn(i)
-			}
-		}()
+			})
+		}(g)
 	}
 	wg.Wait()
 }

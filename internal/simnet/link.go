@@ -53,6 +53,14 @@ type Ifc struct {
 // Node returns the node owning the interface.
 func (i *Ifc) Node() Node { return i.node }
 
+// sim returns the simulation universe this interface's side of the link
+// lives in. For a link inside one shard (or a standalone Sim) both sides
+// agree with Link.sim; for a cross-shard link each side belongs to its own
+// shard's Sim, and all per-side work — packet-pool releases, RNG draws,
+// event scheduling — must stay side-local to be race-free and
+// deterministic.
+func (i *Ifc) sim() *Sim { return i.Port.sim }
+
 // Peer returns the other end of the link.
 func (i *Ifc) Peer() *Ifc { return i.peer }
 
@@ -87,7 +95,7 @@ func (i *Ifc) receive(pkt *Packet, corrupted bool) {
 	i.In.RxAll++
 	if corrupted {
 		i.In.RxBad++
-		i.link.sim.Release(pkt)
+		i.sim().Release(pkt)
 		return
 	}
 	i.In.RxOk++
@@ -99,11 +107,11 @@ func (i *Ifc) receive(pkt *Packet, corrupted bool) {
 		// quanta self-expires unless refreshed, so a corrupted resume
 		// frame can stall the queue for at most one quantum.
 		i.Port.PauseFor(pkt.PauseClass, pkt.PauseQuanta)
-		i.link.sim.Release(pkt)
+		i.sim().Release(pkt)
 		return
 	case KindResume:
 		i.Port.Pause(pkt.PauseClass, false)
-		i.link.sim.Release(pkt)
+		i.sim().Release(pkt)
 		return
 	}
 	if i.OnIngress != nil && i.OnIngress(pkt) {
@@ -163,6 +171,11 @@ type Link struct {
 	// in an impairment proxy standing in for the VOA). Loss models, FaultFn,
 	// flap state and taps are all bypassed: the wire is no longer simulated.
 	Carrier func(pkt *Packet, from *Ifc)
+
+	// xab/xba, set only by Engine.Connect for a cross-shard link, carry
+	// frames to the peer shard (a→b and b→a respectively) instead of
+	// scheduling delivery directly into the receiver's event queue.
+	xab, xba *outbox
 }
 
 // A returns the interface on the first node; B the second.
@@ -232,6 +245,19 @@ func (l *Link) deliver(pkt *Packet, from *Ifc) {
 	for _, tap := range l.taps {
 		tap(pkt, from, corrupted)
 	}
+	if l.xab != nil {
+		// Cross-shard link: the receiving interface lives in another
+		// shard's Sim, so instead of scheduling into a foreign queue
+		// (a race) the frame is copied into a pooled cell stamped with
+		// its arrival time on the sender's clock. The engine's barrier
+		// materializes it into the destination shard between windows.
+		ob := l.xab
+		if from == l.b {
+			ob = l.xba
+		}
+		ob.send(from.sim(), pkt, to, int64(l.Delay), corrupted)
+		return
+	}
 	if corrupted {
 		l.sim.AfterCall(l.Delay, deliverCorrupt, to, pkt)
 	} else {
@@ -256,7 +282,10 @@ func (l *Link) verdict(pkt *Packet, from *Ifc, model LossModel) bool {
 	if l.DropFn != nil {
 		return l.DropFn(pkt, from)
 	}
-	return model.Drops(l.sim.Rng)
+	// Draw from the transmitting side's RNG stream: identical to l.sim.Rng
+	// for an intra-shard link (Port.sim == Link.sim), and the only
+	// race-free, per-direction-deterministic choice on a cross-shard link.
+	return model.Drops(from.sim().Rng)
 }
 
 // Connect joins two nodes with a link of the given per-direction rate and

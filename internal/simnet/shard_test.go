@@ -1,0 +1,286 @@
+package simnet
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"linkguardian/internal/parallel"
+	"linkguardian/internal/simtime"
+)
+
+// ringSegment is one shard of the test fabric: a host behind a switch,
+// with the switch holding the shard's end of the cross links.
+type ringSegment struct {
+	host *Host
+	sw   *Switch
+	recv int
+}
+
+// buildRing places n host+switch segments on an n-shard engine and joins
+// the switches in a ring of cross-shard links. Each host streams packets
+// to the next segment's host, so every frame crosses a shard boundary.
+func buildRing(e *Engine, n int, crossDelay simtime.Duration, lossy bool) []*ringSegment {
+	segs := make([]*ringSegment, n)
+	for i := 0; i < n; i++ {
+		s := e.Shard(i).Sim
+		seg := &ringSegment{
+			host: NewHost(s, fmt.Sprintf("h%d", i)),
+			sw:   NewSwitch(s, fmt.Sprintf("sw%d", i)),
+		}
+		hl := Connect(s, seg.host, seg.sw, simtime.Rate100G, simtime.Microsecond)
+		seg.sw.AddRoute(seg.host.NodeName(), hl.B())
+		seg.host.Recycle = true
+		seg.host.OnReceive = func(*Packet) { seg.recv++ }
+		segs[i] = seg
+	}
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		if n == 2 && i == 1 {
+			break // both directions of the 2-ring share one link
+		}
+		xl := e.Connect(i, segs[i].sw, j, segs[j].sw, simtime.Rate100G, crossDelay)
+		if lossy {
+			xl.SetLoss(xl.A(), IIDLoss{P: 0.05})
+			xl.SetLoss(xl.B(), IIDLoss{P: 0.05})
+		}
+		// Route to the neighbor's host through the cross link; everything
+		// else takes the ring onward (next hop resolves it).
+		segs[i].sw.AddRoute(segs[j].host.NodeName(), xl.A())
+		segs[j].sw.AddRoute(segs[i].host.NodeName(), xl.B())
+	}
+	return segs
+}
+
+// streamRing starts a packet generator on every host, targeting the next
+// segment's host.
+func streamRing(e *Engine, segs []*ringSegment, interval simtime.Duration) {
+	for i := range segs {
+		i := i
+		s := e.Shard(i).Sim
+		dst := segs[(i+1)%len(segs)].host.NodeName()
+		s.Every(interval, func() bool {
+			segs[i].host.Send(s.NewPacket(KindData, 1500, dst))
+			return true
+		})
+	}
+}
+
+// digestRing summarizes everything observable about a run — per-host
+// receive counts, per-interface MAC counters, per-shard clock, fired-event
+// and RNG-sensitive loss counts — so two runs can be compared byte for
+// byte.
+func digestRing(e *Engine, segs []*ringSegment) string {
+	var b strings.Builder
+	for i, seg := range segs {
+		fmt.Fprintf(&b, "shard%d now=%d fired=%d recv=%d\n",
+			i, e.Shard(i).Sim.Now(), e.Shard(i).Sim.Q.Fired(), seg.recv)
+		for _, ifc := range seg.sw.Ifcs() {
+			fmt.Fprintf(&b, "  %s rx=%d ok=%d bad=%d tx=%d\n",
+				ifc.Name, ifc.In.RxAll, ifc.In.RxOk, ifc.In.RxBad, ifc.Port.TxFrames)
+		}
+	}
+	return b.String()
+}
+
+func runRing(t *testing.T, nshards, workers int, lossy bool) string {
+	t.Helper()
+	e := NewEngine(42, nshards)
+	e.SetWorkers(workers)
+	defer e.Close()
+	segs := buildRing(e, nshards, 5*simtime.Microsecond, lossy)
+	streamRing(e, segs, 2*simtime.Microsecond)
+	e.Run(simtime.Time(2 * simtime.Millisecond))
+	for i, seg := range segs {
+		if seg.recv == 0 {
+			t.Fatalf("shard %d host received nothing", i)
+		}
+	}
+	return digestRing(e, segs)
+}
+
+// TestEngineWorkerInvariance is the engine-level determinism contract:
+// with the partition fixed, the worker cap must never change a byte of
+// output, including RNG-driven corruption decisions.
+func TestEngineWorkerInvariance(t *testing.T) {
+	ref := runRing(t, 4, 1, true)
+	for _, w := range []int{2, 4, 8} {
+		if got := runRing(t, 4, w, true); got != ref {
+			t.Fatalf("workers=%d diverged from workers=1:\n--- w=1\n%s--- w=%d\n%s", w, ref, w, got)
+		}
+	}
+}
+
+// TestEngineSingleShardMatchesSim: a 1-shard engine is the sequential
+// engine — same seed derivation, same queue, byte-identical behavior to a
+// plain Sim built with parallel.SeedFor(seed, 0).
+func TestEngineSingleShardMatchesSim(t *testing.T) {
+	build := func(s *Sim) (*Host, *Host, func() (int, int)) {
+		h1, h2 := NewHost(s, "h1"), NewHost(s, "h2")
+		sw := NewSwitch(s, "sw")
+		l1 := Connect(s, h1, sw, simtime.Rate100G, simtime.Microsecond)
+		l2 := Connect(s, h2, sw, simtime.Rate100G, simtime.Microsecond)
+		sw.AddRoute("h1", l1.B())
+		sw.AddRoute("h2", l2.B())
+		l2.SetLoss(l2.B(), IIDLoss{P: 0.1})
+		var r1, r2 int
+		h1.Recycle, h2.Recycle = true, true
+		h1.OnReceive = func(*Packet) { r1++ }
+		h2.OnReceive = func(*Packet) { r2++ }
+		s.Every(simtime.Microsecond, func() bool {
+			h1.Send(s.NewPacket(KindData, 1500, "h2"))
+			return true
+		})
+		return h1, h2, func() (int, int) { return r1, r2 }
+	}
+
+	plain := NewSim(parallel.SeedFor(7, 0))
+	_, _, plainRecv := build(plain)
+	plain.Run(simtime.Time(simtime.Millisecond))
+
+	e := NewEngine(7, 1)
+	defer e.Close()
+	_, _, engRecv := build(e.Shard(0).Sim)
+	e.Run(simtime.Time(simtime.Millisecond))
+
+	p1, p2 := plainRecv()
+	g1, g2 := engRecv()
+	if p1 != g1 || p2 != g2 {
+		t.Fatalf("1-shard engine diverged from plain Sim: plain=(%d,%d) engine=(%d,%d)", p1, p2, g1, g2)
+	}
+	if plain.Q.Fired() != e.Shard(0).Sim.Q.Fired() {
+		t.Fatalf("fired-event counts diverged: plain=%d engine=%d", plain.Q.Fired(), e.Shard(0).Sim.Q.Fired())
+	}
+	if p2 == 0 {
+		t.Fatal("lossy run delivered nothing; test is vacuous")
+	}
+}
+
+// TestEngineCrossShardDelivery drives data, corrupted and PFC frames over
+// a cross-shard link and checks each lands with the semantics an
+// intra-shard link would give it.
+func TestEngineCrossShardDelivery(t *testing.T) {
+	e := NewEngine(1, 2)
+	defer e.Close()
+	s0, s1 := e.Shard(0).Sim, e.Shard(1).Sim
+	h0, h1 := NewHost(s0, "h0"), NewHost(s1, "h1")
+	xl := e.Connect(0, h0, 1, h1, simtime.Rate100G, 5*simtime.Microsecond)
+	recv := 0
+	h1.Recycle = true
+	h1.OnReceive = func(p *Packet) {
+		if p.Released() {
+			t.Error("received a pooled packet")
+		}
+		recv++
+	}
+
+	h0.Send(s0.NewPacket(KindData, 1500, "h1"))
+	e.Run(simtime.Time(100 * simtime.Microsecond))
+	if recv != 1 {
+		t.Fatalf("cross-shard data frame not delivered: recv=%d", recv)
+	}
+	if got := xl.B().In.RxOk; got != 1 {
+		t.Fatalf("receiver MAC RxOk=%d, want 1", got)
+	}
+	if s0.Now() != s1.Now() || s0.Now() != simtime.Time(100*simtime.Microsecond) {
+		t.Fatalf("shard clocks diverged: %v vs %v", s0.Now(), s1.Now())
+	}
+
+	// Corruption verdict happens sender-side; the frame still crosses and
+	// is dropped at the receiving MAC, visible in its counters.
+	xl.DropFn = func(*Packet, *Ifc) bool { return true }
+	h0.Send(s0.NewPacket(KindData, 1500, "h1"))
+	e.RunFor(100 * simtime.Microsecond)
+	xl.DropFn = nil
+	if recv != 1 {
+		t.Fatalf("corrupted frame reached OnReceive: recv=%d", recv)
+	}
+	if got := xl.B().In.RxBad; got != 1 {
+		t.Fatalf("receiver MAC RxBad=%d, want 1", got)
+	}
+
+	// A PFC pause frame crossing shards must pause the receiving port.
+	pp := s0.NewPacket(KindPause, 64, "h1")
+	pp.PauseClass = PrioNormal
+	pp.Prio = PrioHigh
+	xl.A().EnqueueDirect(pp)
+	e.RunFor(100 * simtime.Microsecond)
+	if got := xl.B().Port.Q(PrioNormal).Pauses; got != 1 {
+		t.Fatalf("cross-shard pause frame did not pause peer port: pauses=%d", got)
+	}
+	if !xl.B().Port.Q(PrioNormal).Paused() {
+		t.Fatal("peer queue not paused after cross-shard PFC frame")
+	}
+
+	st := e.Shard(0).Stats()
+	if st.Handoffs != 3 {
+		t.Fatalf("shard 0 handoffs=%d, want 3", st.Handoffs)
+	}
+	if rst := e.Shard(1).Stats(); rst.Recv != 3 {
+		t.Fatalf("shard 1 recv=%d, want 3", rst.Recv)
+	}
+}
+
+// TestEngineConnectValidation: a cross-shard link with zero delay has no
+// lookahead and must be rejected.
+func TestEngineConnectValidation(t *testing.T) {
+	e := NewEngine(1, 2)
+	defer e.Close()
+	h0 := NewHost(e.Shard(0).Sim, "h0")
+	h1 := NewHost(e.Shard(1).Sim, "h1")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-delay cross-shard Connect did not panic")
+		}
+	}()
+	e.Connect(0, h0, 1, h1, simtime.Rate100G, 0)
+}
+
+// TestEngineShardPanicContext: a panic inside a shard's event is reported
+// with the shard id instead of killing the process from a worker
+// goroutine.
+func TestEngineShardPanicContext(t *testing.T) {
+	e := NewEngine(1, 2)
+	e.SetWorkers(2)
+	defer e.Close()
+	// Give the engine a cross link so windows exist and workers spin up.
+	h0 := NewHost(e.Shard(0).Sim, "h0")
+	h1 := NewHost(e.Shard(1).Sim, "h1")
+	e.Connect(0, h0, 1, h1, simtime.Rate100G, simtime.Microsecond)
+	e.Shard(1).Sim.At(simtime.Time(10), func() { panic("boom") })
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("shard panic not propagated")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "shard 1") || !strings.Contains(s, "boom") {
+			t.Fatalf("panic lacks shard context: %v", r)
+		}
+	}()
+	e.Run(simtime.Time(simtime.Millisecond))
+}
+
+// TestEngineHandoffZeroAlloc: once pools are warm, a steady stream of
+// cross-shard traffic must not allocate — cells, packets and events all
+// come from free lists.
+func TestEngineHandoffZeroAlloc(t *testing.T) {
+	e := NewEngine(3, 2)
+	e.SetWorkers(2)
+	defer e.Close()
+	segs := buildRing(e, 2, 5*simtime.Microsecond, false)
+	streamRing(e, segs, 2*simtime.Microsecond)
+	var until simtime.Time
+	step := func() {
+		until = until.Add(simtime.Millisecond)
+		e.Run(until)
+	}
+	for i := 0; i < 10; i++ {
+		step() // warm pools, channels, queue arrays
+	}
+	if avg := testing.AllocsPerRun(20, step); avg > 0 {
+		t.Fatalf("steady-state cross-shard traffic allocates %.1f allocs/run, want 0", avg)
+	}
+	if segs[0].recv == 0 || segs[1].recv == 0 {
+		t.Fatal("no traffic flowed; alloc test is vacuous")
+	}
+}

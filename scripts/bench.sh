@@ -1,69 +1,98 @@
 #!/usr/bin/env bash
-# Runs the hot-path dataplane benchmark and records the result as
-# BENCH_4.json at the repository root, alongside the pre-optimization
-# baseline (measured on the same harness at the commit preceding the
-# zero-allocation work) so the speedup is part of the artifact.
+# Runs the dataplane hot-path benchmarks — the single-link engine
+# (BenchmarkHotPath_PktsPerSec) and the sharded parallel engine on the
+# 4-segment fabric (BenchmarkParHotPath_PktsPerSec) — and records the
+# results as BENCH_6.json at the repository root.
+#
+# Methodology (stability over the old 5x iteration count):
+#   - time-based -benchtime (default 1s) so every sample aggregates enough
+#     iterations to swamp scheduler noise;
+#   - -count samples per benchmark (default 3), reporting the BEST
+#     throughput plus the min and relative spread so run-to-run variance is
+#     part of the artifact rather than silently folded into the number;
+#   - allocs/op is taken as the MAX across samples (it must be identically
+#     zero, so any sample catching an allocation is a regression).
+#
+# The host's CPU count is recorded next to the numbers: the parallel
+# speedup (shards-4 vs shards-1 wall clock over an identical workload) is
+# bounded by physical cores, so the ratio is only meaningful relative to
+# "cpus".
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCHTIME="${BENCHTIME:-5x}"
-OUT="${OUT:-BENCH_4.json}"
+BENCHTIME="${BENCHTIME:-1s}"
+COUNT="${COUNT:-3}"
+OUT="${OUT:-BENCH_6.json}"
 
-raw="$(go test -run '^$' -bench 'BenchmarkHotPath_PktsPerSec' -benchtime "$BENCHTIME" -count 1 .)"
+raw="$(go test -run '^$' -bench 'BenchmarkHotPath_PktsPerSec|BenchmarkParHotPath_PktsPerSec' \
+    -benchtime "$BENCHTIME" -count "$COUNT" .)"
 echo "$raw"
 
-# Pre-optimization baseline: same benchmark harness, same machine class,
-# run against the tree before the packet/event pooling work.
-base_clean_pps=362364
-base_clean_ns=22255294
-base_clean_allocs=141359
-base_lossy_pps=287246
-base_lossy_ns=27557101
-base_lossy_allocs=162217
+cpus="$(go env GOMAXPROCS 2>/dev/null || true)"
+case "$cpus" in ''|*[!0-9]*) cpus=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1) ;; esac
 
-parse() { # $1 = subbench name, $2 = column unit (e.g. pkts/sec)
+# samples <bench/sub> <unit>: every sample of one metric, one per line.
+samples() {
     echo "$raw" | awk -v name="$1" -v unit="$2" '
-        $1 ~ "BenchmarkHotPath_PktsPerSec/" name "(-[0-9]+)?$" {
-            for (i = 1; i < NF; i++) if ($(i+1) == unit) { printf "%d", $i; exit }
+        $1 ~ "^Benchmark" name "(-[0-9]+)?$" {
+            for (i = 1; i < NF; i++) if ($(i+1) == unit) print $i
         }'
 }
 
-clean_pps=$(parse clean "pkts/sec")
-clean_ns=$(parse clean "ns/op")
-clean_allocs=$(parse clean "allocs/op")
-lossy_pps=$(parse lossy-1e-3 "pkts/sec")
-lossy_ns=$(parse lossy-1e-3 "ns/op")
-lossy_allocs=$(parse lossy-1e-3 "allocs/op")
-
-if [ -z "$clean_pps" ] || [ -z "$lossy_pps" ]; then
-    echo "bench.sh: failed to parse benchmark output" >&2
-    exit 1
-fi
-
-speedup() { awk -v a="$1" -v b="$2" 'BEGIN { printf "%.2f", a / b }'; }
-
-cat > "$OUT" <<EOF
-{
-  "bench": "BenchmarkHotPath_PktsPerSec",
-  "benchtime": "$BENCHTIME",
-  "clean": {
-    "pkts_per_sec": $clean_pps,
-    "ns_per_op": $clean_ns,
-    "allocs_per_op": $clean_allocs,
-    "baseline_pkts_per_sec": $base_clean_pps,
-    "baseline_ns_per_op": $base_clean_ns,
-    "baseline_allocs_per_op": $base_clean_allocs,
-    "speedup": $(speedup "$clean_pps" "$base_clean_pps")
-  },
-  "lossy_1e3": {
-    "pkts_per_sec": $lossy_pps,
-    "ns_per_op": $lossy_ns,
-    "allocs_per_op": $lossy_allocs,
-    "baseline_pkts_per_sec": $base_lossy_pps,
-    "baseline_ns_per_op": $base_lossy_ns,
-    "baseline_allocs_per_op": $base_lossy_allocs,
-    "speedup": $(speedup "$lossy_pps" "$base_lossy_pps")
-  }
+best()   { sort -n | tail -1; }
+worst()  { sort -n | head -1; }
+spread() { # relative spread (max-min)/max in percent
+    sort -n | awk 'NR==1{min=$1} {max=$1} END { if (max>0) printf "%.2f", (max-min)/max*100; else print 0 }'
 }
-EOF
+
+# emit <json-key> <bench/sub> [baseline-pps]: one JSON object for a
+# subbenchmark; with a baseline, also the speedup against it.
+emit() {
+    local key="$1" name="$2" base="${3:-}"
+    local pps_best pps_min pps_spread ns_best allocs
+    pps_best=$(samples "$name" "pkts/sec" | best)
+    pps_min=$(samples "$name" "pkts/sec" | worst)
+    pps_spread=$(samples "$name" "pkts/sec" | spread)
+    ns_best=$(samples "$name" "ns/op" | worst)
+    allocs=$(samples "$name" "allocs/op" | best)
+    if [ -z "$pps_best" ]; then
+        echo "bench.sh: no samples for $name" >&2
+        exit 1
+    fi
+    printf '  "%s": {\n' "$key"
+    printf '    "pkts_per_sec": %.0f,\n' "$pps_best"
+    printf '    "pkts_per_sec_min": %.0f,\n' "$pps_min"
+    printf '    "spread_pct": %s,\n' "$pps_spread"
+    printf '    "ns_per_op": %d,\n' "$ns_best"
+    if [ -n "$base" ]; then
+        printf '    "allocs_per_op": %d,\n' "$allocs"
+        printf '    "baseline_pkts_per_sec": %d,\n' "$base"
+        awk -v a="$pps_best" -v b="$base" 'BEGIN { printf "    \"speedup\": %.2f\n", a / b }'
+    else
+        printf '    "allocs_per_op": %d\n' "$allocs"
+    fi
+    printf '  }'
+}
+
+# Baselines: BENCH_4.json (best-of run of the sequential engine at the end
+# of the zero-allocation PR, same harness). The parallel shards-4 entry is
+# additionally compared against its own shards-1 sample below.
+base4_clean=793241
+base4_lossy=632564
+
+{
+    printf '{\n'
+    printf '  "bench": "BenchmarkHotPath_PktsPerSec + BenchmarkParHotPath_PktsPerSec",\n'
+    printf '  "benchtime": "%s",\n' "$BENCHTIME"
+    printf '  "count": %d,\n' "$COUNT"
+    printf '  "cpus": %d,\n' "$cpus"
+    emit "clean" "HotPath_PktsPerSec/clean" "$base4_clean";               printf ',\n'
+    emit "lossy_1e3" "HotPath_PktsPerSec/lossy-1e-3" "$base4_lossy";      printf ',\n'
+    emit "par_shards_1" "ParHotPath_PktsPerSec/shards-1";                 printf ',\n'
+    emit "par_shards_4" "ParHotPath_PktsPerSec/shards-4";                 printf ',\n'
+    s1=$(samples "ParHotPath_PktsPerSec/shards-1" "pkts/sec" | best)
+    s4=$(samples "ParHotPath_PktsPerSec/shards-4" "pkts/sec" | best)
+    awk -v a="$s4" -v b="$s1" 'BEGIN { printf "  \"par_speedup_shards4_vs_shards1\": %.2f\n", a / b }'
+    printf '}\n'
+} > "$OUT"
 echo "wrote $OUT"
