@@ -53,10 +53,11 @@ bench-par-smoke:
 cover:
 	./scripts/covercheck.sh
 
-# Fuzz smoke pass: ~30s total across the four native fuzz targets. The
+# Fuzz smoke pass: ~40s total across the native fuzz targets. The
 # checked-in crasher corpus under testdata/fuzz/ also runs during plain
 # `go test`, so regressions are caught even without -fuzz.
 fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzVote -fuzztime 8s ./internal/attrib
 	$(GO) test -run '^$$' -fuzz FuzzSeqCompare -fuzztime 8s ./internal/seqnum
 	$(GO) test -run '^$$' -fuzz FuzzLGDataWire -fuzztime 7s ./internal/simnet
 	$(GO) test -run '^$$' -fuzz FuzzLGAckWire -fuzztime 7s ./internal/simnet
@@ -65,6 +66,11 @@ fuzz:
 # Chaos robustness gate: the curated fault scenarios plus a fixed-seed,
 # fixed-budget randomized sweep. Failures reproduce exactly from the index
 # the report names: go run ./cmd/chaos -gen <i> -seed 20230823.
+# The composite-family soak (17 per family x 3 families = 51 scenarios) runs
+# under the race detector: the families carry stateful faults (correlated
+# GE chains, congestion generators) whose cloning discipline is exactly what
+# a race would break. The attribution smoke gates single-culprit top-1
+# accuracy against the recorded baseline in scripts/attrib_baseline.txt.
 chaos:
 	$(GO) run ./cmd/chaos -scenario quiet -seed 1
 	$(GO) run ./cmd/chaos -scenario spike -seed 1
@@ -74,6 +80,9 @@ chaos:
 	$(GO) run ./cmd/chaos -scenario storm -seed 1
 	$(GO) run ./cmd/chaos -scenario era-wrap -seed 1
 	$(GO) run ./cmd/chaos -soak 200 -seed 20230823
+	$(GO) run -race ./cmd/chaos -families 17 -seed 20230823
+	$(GO) run ./cmd/chaos -attrib 10 -attrib-multi 4 -seed 20230823 \
+		-attrib-min $$(grep -v '^\#' scripts/attrib_baseline.txt)
 
 # Live dataplane smoke test: the lglive loopback demo — real UDP sockets,
 # impairment proxy at 1e-3 loss, race detector on — must mask every drop

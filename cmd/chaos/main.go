@@ -12,6 +12,12 @@
 //	chaos -scenario spike -fabric 4 [-shards 4]
 //	                                    run one scenario on every segment of a
 //	                                    multi-segment fabric (sharded engine)
+//	chaos -families 6 [-seed 1]         sweep the composite fault families
+//	                                    (corrupt+congest, asym, correlated)
+//	chaos -attrib 10 [-attrib-multi 4] [-attrib-min 0.9]
+//	                                    007-style drop-cause attribution soak;
+//	                                    exits non-zero if single-culprit top-1
+//	                                    accuracy falls below -attrib-min
 //
 // A failing soak scenario is reproduced exactly by rerunning its index with
 // the same master seed: chaos -gen <i> -seed <master>.
@@ -39,6 +45,10 @@ func main() {
 	scenario := flag.String("scenario", "", "curated scenario name to run")
 	gen := flag.Int("gen", -1, "generated scenario index to run")
 	soak := flag.Int("soak", 0, "number of generated scenarios to sweep")
+	families := flag.Int("families", 0, "composite-family scenarios to sweep per family")
+	attrib := flag.Int("attrib", 0, "single-culprit attribution scenarios to sweep")
+	attribMulti := flag.Int("attrib-multi", 0, "correlated multi-culprit attribution scenarios (reported, not gated)")
+	attribMin := flag.Float64("attrib-min", 0.9, "minimum single-culprit top-1 accuracy")
 	seed := flag.Int64("seed", 1, "scenario seed (soak/gen: master seed)")
 	workers := flag.Int("workers", 0, "soak worker count (0 = all cores)")
 	fabric := flag.Int("fabric", 0, "run -scenario on an N-segment fabric (sharded engine)")
@@ -95,6 +105,30 @@ func main() {
 		}
 		if len(res.Failures()) > 0 {
 			fmt.Printf("reproduce a failure with: chaos -gen <i> -seed %d\n", *seed)
+			os.Exit(1)
+		}
+
+	case *families > 0:
+		parallel.SetWorkers(*workers)
+		res := chaos.FamilySoakArtifacts(*seed, *families, *artifacts)
+		finishProfiles(stopProf)
+		fmt.Print(res)
+		for _, r := range res.Failures() {
+			if r.Artifact != "" {
+				fmt.Printf("artifact: %s\n", r.Artifact)
+			}
+		}
+		if len(res.Failures()) > 0 {
+			os.Exit(1)
+		}
+
+	case *attrib > 0 || *attribMulti > 0:
+		parallel.SetWorkers(*workers)
+		res := chaos.AttribSoak(*seed, *attrib, *attribMulti)
+		finishProfiles(stopProf)
+		fmt.Print(res)
+		if rate := res.Top1Rate(); *attrib > 0 && rate < *attribMin {
+			fmt.Printf("FAIL: single-culprit top-1 accuracy %.3f < %.3f\n", rate, *attribMin)
 			os.Exit(1)
 		}
 

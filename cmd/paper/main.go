@@ -114,6 +114,9 @@ func main() {
 	if want["fabric"] {
 		fabricFCT(*scale, *segments, *shards)
 	}
+	if want["tracks"] {
+		tracksAblation(*scale)
+	}
 
 	if *metricsOut != "" {
 		// Merge the grid's per-cell snapshots in row-major cell order — the
@@ -145,6 +148,16 @@ func main() {
 
 // designSpace and workloadFCT are extensions beyond the paper's figures
 // (see EXPERIMENTS.md); they run only when requested via -only.
+
+// tracksAblation crosses end-host fast recovery (T-RACKs-style ~100µs
+// RTOmin) with link protection under i.i.d. and bursty corruption: does a
+// faster end-host timer substitute for link-local retransmission?
+func tracksAblation(scale float64) {
+	header("T-RACKs ablation: end-host fast recovery vs link-local retransmission, 24,387B DCTCP, 1e-3 loss")
+	for _, r := range experiments.TracksAblation(scaleInt(4000, scale)) {
+		fmt.Println(r)
+	}
+}
 
 func designSpace(scale float64) {
 	header("Design space (Figure 3): e2e ReTx vs e2e duplication vs LinkGuardian")

@@ -1,0 +1,195 @@
+// Package attrib is a 007-style drop-cause attribution layer: it consumes
+// flow-level loss observations — which flows lost or retransmitted packets,
+// and which links each flow's path traversed — and votes the blame down to
+// individual links, producing a ranked per-link blame table.
+//
+// The scheme follows 007 (Arzani et al., NSDI 2018): a flow that observed a
+// loss cannot tell *where* on its path the packet died, so it casts an
+// equal fractional vote of 1/h on each of the h links it traversed. Votes
+// accumulate across flows; the corrupting link collects votes from every
+// flow crossing it while healthy links collect only the diluted background,
+// so the true culprit rises to the top of the ranking with high probability
+// even at modest flow counts. An optional normalization divides each link's
+// votes by the number of flows that traversed it, removing the bias toward
+// links that simply carry more traffic (the ring fabric's transit links).
+//
+// Everything here is deterministic: observations are processed in input
+// order, accumulation is plain summation, and ranking ties break on the
+// link name — so a blame table computed from a sharded fabric run is
+// byte-identical at any worker or shard count, which the chaos soak
+// asserts.
+package attrib
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FlowObs is one flow's observation: the links its path traversed and the
+// loss evidence the endpoints saw. It deliberately carries no link-level
+// information — the whole point of attribution is that production endpoints
+// only know "my flow lost packets somewhere along this path".
+type FlowObs struct {
+	// Flow identifies the flow (for diagnostics only; not used in voting).
+	Flow int64
+
+	// Path lists the links the flow traversed, in order. Duplicate entries
+	// (a path crossing the same link twice) count once.
+	Path []string
+
+	// Sent and Delivered are the endpoint's packet accounting. A flow with
+	// Delivered < Sent observed app-visible loss.
+	Sent      int
+	Delivered int
+
+	// Retx counts end-to-end retransmissions the sender performed — the
+	// observation 007 uses when the transport masks the loss itself.
+	Retx int
+}
+
+// Bad reports whether the flow observed any loss evidence: app-visible
+// missing packets or end-to-end retransmissions.
+func (o *FlowObs) Bad() bool {
+	return (o.Sent > 0 && o.Delivered >= 0 && o.Delivered < o.Sent) || o.Retx > 0
+}
+
+// Blame is one link's row of the blame table.
+type Blame struct {
+	Link string
+	// Score is the accumulated (optionally normalized) vote mass.
+	Score float64
+	// Votes counts the bad flows that traversed the link.
+	Votes int
+	// Flows counts all observed flows that traversed the link.
+	Flows int
+}
+
+// Opts configures the vote.
+type Opts struct {
+	// NormalizeByCoverage divides each link's accumulated votes by the
+	// number of flows that traversed it, so a link is ranked by the
+	// *fraction* of its flows that failed rather than the raw count — the
+	// correction for topologies where some links carry far more flows than
+	// others.
+	NormalizeByCoverage bool
+}
+
+// Table is a ranked blame table: highest score first, ties broken by link
+// name so the ranking is a pure function of the observations.
+type Table struct {
+	Ranked []Blame
+
+	// BadFlows and GoodFlows count the classified observations; Skipped
+	// counts observations rejected as malformed (empty path, negative
+	// accounting).
+	BadFlows, GoodFlows, Skipped int
+}
+
+// Vote runs the 007 voting scheme over the observations. Malformed
+// observations — empty paths, negative packet accounting — are skipped and
+// counted rather than trusted; the returned table blames only links that
+// appear on some observed flow's path, never a link the observations never
+// mentioned.
+func Vote(obs []FlowObs, opts Opts) Table {
+	type acc struct {
+		score float64
+		votes int
+		flows int
+	}
+	accs := map[string]*acc{}
+	var t Table
+	// dedup is reused per observation to collapse duplicate path entries.
+	dedup := map[string]struct{}{}
+	for i := range obs {
+		o := &obs[i]
+		if len(o.Path) == 0 || o.Sent < 0 || o.Delivered < 0 || o.Retx < 0 || o.Delivered > o.Sent {
+			t.Skipped++
+			continue
+		}
+		for k := range dedup {
+			delete(dedup, k)
+		}
+		links := make([]string, 0, len(o.Path))
+		for _, l := range o.Path {
+			if l == "" {
+				continue
+			}
+			if _, dup := dedup[l]; dup {
+				continue
+			}
+			dedup[l] = struct{}{}
+			links = append(links, l)
+		}
+		if len(links) == 0 {
+			t.Skipped++
+			continue
+		}
+		bad := o.Bad()
+		if bad {
+			t.BadFlows++
+		} else {
+			t.GoodFlows++
+		}
+		vote := 1 / float64(len(links))
+		for _, l := range links {
+			a := accs[l]
+			if a == nil {
+				a = &acc{}
+				accs[l] = a
+			}
+			a.flows++
+			if bad {
+				a.score += vote
+				a.votes++
+			}
+		}
+	}
+
+	t.Ranked = make([]Blame, 0, len(accs))
+	for l, a := range accs {
+		b := Blame{Link: l, Score: a.score, Votes: a.votes, Flows: a.flows}
+		if opts.NormalizeByCoverage && a.flows > 0 {
+			b.Score /= float64(a.flows)
+		}
+		t.Ranked = append(t.Ranked, b)
+	}
+	sort.Slice(t.Ranked, func(i, j int) bool {
+		if t.Ranked[i].Score != t.Ranked[j].Score {
+			return t.Ranked[i].Score > t.Ranked[j].Score
+		}
+		return t.Ranked[i].Link < t.Ranked[j].Link
+	})
+	return t
+}
+
+// Rank returns the 1-based rank of the link in the table, or 0 if the link
+// collected no observation at all.
+func (t *Table) Rank(link string) int {
+	for i, b := range t.Ranked {
+		if b.Link == link {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// Top returns the highest-ranked link and whether the table is non-empty
+// with a non-zero top score (a table where no flow failed blames no one).
+func (t *Table) Top() (string, bool) {
+	if len(t.Ranked) == 0 || t.Ranked[0].Score <= 0 {
+		return "", false
+	}
+	return t.Ranked[0].Link, true
+}
+
+// String renders the table deterministically, one link per line, scores to
+// fixed precision — compared byte-for-byte by the shard-invariance tests.
+func (t Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "attrib bad=%d good=%d skipped=%d", t.BadFlows, t.GoodFlows, t.Skipped)
+	for i, bl := range t.Ranked {
+		fmt.Fprintf(&b, "\n  #%d %-14s score=%.4f votes=%d flows=%d", i+1, bl.Link, bl.Score, bl.Votes, bl.Flows)
+	}
+	return b.String()
+}

@@ -1,0 +1,91 @@
+package attrib
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// decodeObs deterministically expands a raw byte string into a slice of
+// observations, exercising every malformed shape the voter must tolerate:
+// empty and blank paths, duplicate links, negative accounting, delivery
+// exceeding what was sent. The decoder is intentionally permissive — the
+// fuzzer's job is to prove Vote never panics and never blames a link that
+// no observation mentioned, no matter how broken the input.
+func decodeObs(data []byte) []FlowObs {
+	var obs []FlowObs
+	for len(data) >= 8 {
+		var o FlowObs
+		o.Flow = int64(binary.LittleEndian.Uint16(data))
+		o.Sent = int(int8(data[2]))
+		o.Delivered = int(int8(data[3]))
+		o.Retx = int(int8(data[4]))
+		nlinks := int(data[5] % 7)
+		data = data[6:]
+		for i := 0; i < nlinks && len(data) > 0; i++ {
+			id := data[0]
+			data = data[1:]
+			switch {
+			case id%11 == 0:
+				o.Path = append(o.Path, "") // blank entry
+			case id%5 == 0 && len(o.Path) > 0:
+				o.Path = append(o.Path, o.Path[0]) // duplicate entry
+			default:
+				o.Path = append(o.Path, string(rune('a'+id%13)))
+			}
+		}
+		obs = append(obs, o)
+		if len(data) < 2 {
+			break
+		}
+	}
+	return obs
+}
+
+// FuzzVote holds the voting engine total over malformed and partial
+// flow-path observations: no panic, no blame for a link absent from every
+// observed path, and the bad/good/skipped classification always accounts
+// for every observation exactly once.
+func FuzzVote(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 10, 5, 0, 2, 3, 4})
+	f.Add([]byte{1, 0, 255, 255, 255, 6, 0, 5, 5, 5, 11, 22})
+	f.Add([]byte{7, 7, 0, 0, 0, 0, 9, 9, 3, 1, 2, 1, 250, 250, 250, 250})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		obs := decodeObs(data)
+		for _, norm := range []bool{false, true} {
+			tab := Vote(obs, Opts{NormalizeByCoverage: norm})
+			if tab.BadFlows+tab.GoodFlows+tab.Skipped != len(obs) {
+				t.Fatalf("classification leak: bad=%d good=%d skipped=%d of %d obs",
+					tab.BadFlows, tab.GoodFlows, tab.Skipped, len(obs))
+			}
+			// The candidate universe is exactly the union of observed,
+			// non-blank path entries: nothing else may appear in the table.
+			universe := map[string]bool{}
+			for _, o := range obs {
+				for _, l := range o.Path {
+					if l != "" {
+						universe[l] = true
+					}
+				}
+			}
+			for i, b := range tab.Ranked {
+				if !universe[b.Link] {
+					t.Fatalf("blamed non-existent link %q", b.Link)
+				}
+				if b.Score < 0 || b.Votes < 0 || b.Votes > b.Flows {
+					t.Fatalf("inconsistent blame row %+v", b)
+				}
+				if i > 0 && tab.Ranked[i-1].Score < b.Score {
+					t.Fatalf("ranking not sorted at %d: %v", i, tab.Ranked)
+				}
+			}
+			// Verify must also be total, including culprits the table never saw.
+			acc := Verify(tab, GroundTruth{Culprits: []string{"a", "zz-not-a-link"}})
+			if acc.Ranks["zz-not-a-link"] != 0 {
+				t.Fatalf("phantom culprit got a rank: %+v", acc)
+			}
+			_ = tab.String()
+			_ = acc.CulpritRanks()
+		}
+	})
+}

@@ -1,0 +1,93 @@
+package attrib
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// GroundTruth names the links a fault injector actually corrupted — the
+// oracle no production system has, and the reason attribution accuracy can
+// only be *measured* inside the chaos engine.
+type GroundTruth struct {
+	Culprits []string
+}
+
+// Accuracy scores a blame table against injected ground truth.
+type Accuracy struct {
+	// Top1Hit reports whether the table's top-ranked link is a true
+	// culprit. With no culprits it is vacuously false.
+	Top1Hit bool
+
+	// TopKHits counts how many of the K true culprits appear within the
+	// top K ranks (K = number of culprits) — the multi-link analogue of
+	// top-1 accuracy for correlated-group faults.
+	TopKHits int
+
+	// Ranks maps each culprit to its 1-based rank in the table (0 when the
+	// culprit collected no votes at all — the worst outcome). Keys iterate
+	// deterministically via CulpritRanks.
+	Ranks map[string]int
+}
+
+// Verify scores the table: where did each true culprit land in the ranking,
+// and did the single most-blamed link point at a real fault?
+func Verify(t Table, gt GroundTruth) Accuracy {
+	a := Accuracy{Ranks: map[string]int{}}
+	if len(gt.Culprits) == 0 {
+		return a
+	}
+	culprit := map[string]bool{}
+	for _, c := range gt.Culprits {
+		culprit[c] = true
+		a.Ranks[c] = t.Rank(c)
+	}
+	if top, ok := t.Top(); ok && culprit[top] {
+		a.Top1Hit = true
+	}
+	k := len(gt.Culprits)
+	for _, c := range gt.Culprits {
+		if r := a.Ranks[c]; r > 0 && r <= k {
+			a.TopKHits++
+		}
+	}
+	return a
+}
+
+// CulpritRanks renders the per-culprit ranks sorted by culprit name —
+// deterministic for report strings.
+func (a Accuracy) CulpritRanks() string {
+	names := make([]string, 0, len(a.Ranks))
+	for c := range a.Ranks {
+		names = append(names, c)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, c := range names {
+		parts[i] = fmt.Sprintf("%s=%d", c, a.Ranks[c])
+	}
+	return strings.Join(parts, " ")
+}
+
+// WorstRank returns the worst (largest) culprit rank, with 0 (never ranked)
+// counting as worse than any finite rank. Second return is false when there
+// are no culprits.
+func (a Accuracy) WorstRank() (int, bool) {
+	if len(a.Ranks) == 0 {
+		return 0, false
+	}
+	worst, unranked := 0, false
+	for _, r := range a.Ranks {
+		if r == 0 {
+			unranked = true
+			continue
+		}
+		if r > worst {
+			worst = r
+		}
+	}
+	if unranked {
+		return 0, true
+	}
+	return worst, true
+}

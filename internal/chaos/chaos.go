@@ -42,6 +42,10 @@ type Scenario struct {
 	Name string
 	Seed int64
 
+	// Family names the composite-fault family that generated the scenario
+	// (GenFamilyScenario); empty for curated and plain generated scenarios.
+	Family string
+
 	// Rate is the protected link's speed; FrameSize and LoadFrac shape the
 	// offered load (MTU frames at LoadFrac of line rate).
 	Rate      simtime.Rate
@@ -100,17 +104,38 @@ func (sc *Scenario) InEnvelope() bool {
 func (sc *Scenario) provisionLoss() float64 {
 	p := sc.BaseLoss
 	for _, s := range sc.Steps {
-		if ls, ok := s.Fault.(LossSpike); ok && ls.InEnvelope() && ls.Rate > p {
-			p = ls.Rate
+		if r := maxSpikeRate(s.Fault); r > p {
+			p = r
 		}
 	}
 	return p
+}
+
+// maxSpikeRate is the worst in-envelope stationary rate a fault presents,
+// unwrapping composites so a spike inside a Compose still feeds Equation 2.
+func maxSpikeRate(f Fault) float64 {
+	switch x := f.(type) {
+	case LossSpike:
+		if x.InEnvelope() {
+			return x.Rate
+		}
+	case Compose:
+		p := 0.0
+		for _, sub := range x.Faults {
+			if r := maxSpikeRate(sub); r > p {
+				p = r
+			}
+		}
+		return p
+	}
+	return 0
 }
 
 // Report is the outcome of one scenario: the invariant violations (empty on
 // a healthy protocol) plus enough counters to reproduce and triage.
 type Report struct {
 	Scenario   string
+	Family     string // composite-fault family, empty otherwise
 	Seed       int64
 	InEnvelope bool
 
@@ -150,8 +175,12 @@ func (r *Report) String() string {
 	if r.InEnvelope {
 		env = "in-envelope"
 	}
-	fmt.Fprintf(&b, "%s seed=%d %s tx=%d fwd=%d outstanding=%d unrecovered=%d overflows=%d retx=%d timeouts=%d quiesced=%v",
-		r.Scenario, r.Seed, env, r.TxUnique, r.Forwarded, r.Outstanding,
+	fam := ""
+	if r.Family != "" {
+		fam = " family=" + r.Family
+	}
+	fmt.Fprintf(&b, "%s%s seed=%d %s tx=%d fwd=%d outstanding=%d unrecovered=%d overflows=%d retx=%d timeouts=%d quiesced=%v",
+		r.Scenario, fam, r.Seed, env, r.TxUnique, r.Forwarded, r.Outstanding,
 		r.Unrecovered, r.Overflows, r.Retx, r.Timeouts, r.Quiesced)
 	for _, v := range r.Violations {
 		fmt.Fprintf(&b, "\n  %v", v)
@@ -279,6 +308,13 @@ func RunScenarioOpts(sc Scenario, opts RunOpts) *Report {
 	gen := tb.StartGeneratorAt(frame, sc.LoadFrac)
 	start := tb.Sim.Now()
 	for _, s := range sc.Steps {
+		// Stateful faults are cloned per run, so a Scenario value can be
+		// executed repeatedly with identical results; faults carrying their
+		// own end-of-run invariants wire them into the checker here.
+		s.Fault = cloneFault(s.Fault)
+		if e, ok := s.Fault.(Expecter); ok {
+			e.Expectations(rig, chk)
+		}
 		eng.schedule(tb.Sim, start, sc.Window, s)
 	}
 	genWindow := sc.Window
@@ -308,6 +344,7 @@ func RunScenarioOpts(sc Scenario, opts RunOpts) *Report {
 
 	r := &Report{
 		Scenario:    sc.Name,
+		Family:      sc.Family,
 		Seed:        sc.Seed,
 		InEnvelope:  sc.InEnvelope(),
 		TxUnique:    chk.TxUnique(),
@@ -324,6 +361,16 @@ func RunScenarioOpts(sc Scenario, opts RunOpts) *Report {
 			quiesceRounds*quiesceRound, tb.LG.MissingCount(), tb.LG.RxHeldBytes(), tb.LG.OutstandingTx(), chk.sampleOutstanding(5))
 	}
 	r.Violations = chk.Finish(r.InEnvelope, sc.provisionLoss())
+	if sc.Family != "" {
+		// Per-family fault counters, visible in the report's snapshot and in
+		// flight-recorder artifacts.
+		reg.Counter("chaos.family." + sc.Family + ".runs").Inc()
+		var fired uint64
+		for _, v := range r.Violations {
+			fired += uint64(v.Count)
+		}
+		reg.Counter("chaos.family." + sc.Family + ".violations").Add(fired)
+	}
 	reg.Sample()
 	r.Metrics = reg.Snapshot()
 	if opts.KeepTrace {
@@ -331,7 +378,9 @@ func RunScenarioOpts(sc Scenario, opts RunOpts) *Report {
 	}
 	if r.Failed() && opts.ArtifactDir != "" {
 		for _, v := range r.Violations {
-			fr.Note("violation."+v.Rule, v.Detail)
+			// The full bounded occurrence list, not just the first detail —
+			// one artifact carries the whole scenario's forensics.
+			fr.Note("violation."+v.Rule, v.String())
 		}
 		if dir, err := fr.Dump(fmt.Sprintf("%d invariant violation(s)", len(r.Violations))); err == nil {
 			r.Artifact = dir

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"linkguardian/internal/core"
 	"linkguardian/internal/seqnum"
@@ -21,20 +22,50 @@ const (
 	RuleLiveness    = "lost-unaccounted"    // packets neither delivered nor accounted lost
 	RuleEffLoss     = "effective-loss"      // in-envelope run exceeded the target loss rate
 	RuleUseAfterRel = "use-after-release"   // a free-listed packet observed in the dataplane
+	RuleExpectation = "family-expectation"  // a fault family's end-of-run expectation failed
 )
 
-// Violation aggregates every firing of one invariant rule: the first
-// occurrence's time and detail, plus a total count. Aggregation keeps soak
-// reports small and their comparison across runs exact.
+// maxViolationDetails bounds how many occurrence details one rule retains
+// (first occurrence plus up to maxViolationDetails-1 later ones). Count keeps
+// the full total; only the details are capped, so a composite-fault run that
+// fires a rule thousands of times still yields a small, byte-stable report
+// with enough forensics to triage in one pass.
+const maxViolationDetails = 8
+
+// Occurrence is one retained firing of a rule beyond the first.
+type Occurrence struct {
+	At     simtime.Time
+	Detail string
+}
+
+// Violation aggregates every firing of one invariant rule: a bounded list of
+// occurrence details (the first plus up to maxViolationDetails-1 more) and a
+// total count. Aggregation keeps soak reports small and their comparison
+// across runs exact.
 type Violation struct {
 	Rule   string
 	At     simtime.Time // first occurrence
 	Count  int
 	Detail string // first occurrence
+
+	// More holds the 2nd through maxViolationDetails-th occurrences; firings
+	// beyond the cap only bump Count.
+	More []Occurrence
 }
 
 func (v Violation) String() string {
-	return fmt.Sprintf("[%s] x%d first@%v: %s", v.Rule, v.Count, v.At, v.Detail)
+	if len(v.More) == 0 {
+		return fmt.Sprintf("[%s] x%d first@%v: %s", v.Rule, v.Count, v.At, v.Detail)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%s] x%d first@%v: %s", v.Rule, v.Count, v.At, v.Detail)
+	for _, o := range v.More {
+		fmt.Fprintf(&b, "\n    +@%v: %s", o.At, o.Detail)
+	}
+	if elided := v.Count - 1 - len(v.More); elided > 0 {
+		fmt.Fprintf(&b, "\n    ... %d more occurrence(s)", elided)
+	}
+	return b.String()
 }
 
 // deliveredWindow is how many sequence numbers behind the newest forwarded
@@ -86,6 +117,7 @@ type Checker struct {
 
 	byRule     map[string]*Violation
 	violations []*Violation
+	expects    []expectation
 
 	// OnViolation, if set, is called at the first firing of each rule —
 	// the flight recorder's hook for snapshotting the trace ring while the
@@ -122,11 +154,29 @@ func Watch(sim *simnet.Sim, link *simnet.Link, protected *simnet.Ifc, g *core.In
 	return c
 }
 
-// flag records one firing of a rule. Only the first occurrence's detail is
-// kept; later firings bump the count.
+// expectation is a named end-of-run check registered by a fault family.
+type expectation struct {
+	name string
+	fn   func() string
+}
+
+// Expect registers an end-of-run expectation, evaluated in Finish in
+// registration order: fn returns "" when satisfied, or a detail string that
+// is flagged under RuleExpectation. Fault families use this to assert their
+// family-specific invariants (e.g. an asymmetric fault must leave the
+// unprotected direction untouched) on top of the protocol-level rules.
+func (c *Checker) Expect(name string, fn func() string) {
+	c.expects = append(c.expects, expectation{name: name, fn: fn})
+}
+
+// flag records one firing of a rule: details are retained up to
+// maxViolationDetails occurrences, every firing bumps the count.
 func (c *Checker) flag(rule, detail string, args ...any) {
 	if v, ok := c.byRule[rule]; ok {
 		v.Count++
+		if 1+len(v.More) < maxViolationDetails {
+			v.More = append(v.More, Occurrence{At: c.sim.Now(), Detail: fmt.Sprintf(detail, args...)})
+		}
 		return
 	}
 	v := &Violation{Rule: rule, At: c.sim.Now(), Count: 1, Detail: fmt.Sprintf(detail, args...)}
@@ -272,6 +322,11 @@ func (c *Checker) Finish(inEnvelope bool, maxLossRate float64) []Violation {
 			c.flag(RuleEffLoss,
 				"%d of %d packets lost end-to-end, above the in-envelope allowance of %d (rate<=%.0e, N=%d)",
 				lost, c.txUnique, allowed, maxLossRate, c.g.Copies())
+		}
+	}
+	for _, e := range c.expects {
+		if msg := e.fn(); msg != "" {
+			c.flag(RuleExpectation, "%s: %s", e.name, msg)
 		}
 	}
 	out := make([]Violation, len(c.violations))

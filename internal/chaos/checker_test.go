@@ -1,0 +1,78 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"linkguardian/internal/core"
+	"linkguardian/internal/experiments"
+	"linkguardian/internal/simtime"
+)
+
+func testChecker(t *testing.T) *Checker {
+	t.Helper()
+	cfg := core.NewConfig(simtime.Rate25G, 1e-3)
+	tb := experiments.NewTestbed(1, simtime.Rate25G, cfg)
+	return Watch(tb.Sim, tb.Link, tb.Link.A(), tb.LG, 0)
+}
+
+// TestFlagBoundedDetails exercises the occurrence-detail cap directly: every
+// firing counts, the first maxViolationDetails keep their detail, the rest
+// are elided from the rendering but not from the count.
+func TestFlagBoundedDetails(t *testing.T) {
+	chk := testChecker(t)
+
+	const fires = 20
+	for i := 0; i < fires; i++ {
+		chk.flag(RuleDuplicate, "occurrence %d", i)
+	}
+	vs := chk.Finish(false, 0)
+	if len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1 aggregated rule", len(vs))
+	}
+	v := vs[0]
+	if v.Count != fires {
+		t.Fatalf("count = %d, want %d", v.Count, fires)
+	}
+	if v.Detail != "occurrence 0" {
+		t.Fatalf("first detail = %q", v.Detail)
+	}
+	if len(v.More) != maxViolationDetails-1 {
+		t.Fatalf("retained %d extra details, want %d", len(v.More), maxViolationDetails-1)
+	}
+	s := v.String()
+	for _, want := range []string{"occurrence 0", "occurrence 1", "occurrence 7", "more occurrence(s)"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("violation string missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "occurrence 8") {
+		t.Fatalf("violation string holds an occurrence beyond the cap:\n%s", s)
+	}
+}
+
+// TestExpectHook proves end-of-run expectations fire under the
+// family-expectation rule, in registration order, and that satisfied ones
+// stay silent.
+func TestExpectHook(t *testing.T) {
+	chk := testChecker(t)
+
+	chk.Expect("satisfied", func() string { return "" })
+	chk.Expect("broken-a", func() string { return "saw the wrong thing" })
+	chk.Expect("broken-b", func() string { return "also wrong" })
+
+	vs := chk.Finish(false, 0)
+	if len(vs) != 1 {
+		t.Fatalf("violations = %v, want one aggregated family-expectation", vs)
+	}
+	v := vs[0]
+	if v.Rule != RuleExpectation || v.Count != 2 {
+		t.Fatalf("rule=%q count=%d, want %q count=2", v.Rule, v.Count, RuleExpectation)
+	}
+	if !strings.Contains(v.Detail, "broken-a") {
+		t.Fatalf("first expectation detail = %q", v.Detail)
+	}
+	if len(v.More) != 1 || !strings.Contains(v.More[0].Detail, "broken-b") {
+		t.Fatalf("second expectation not retained: %+v", v.More)
+	}
+}

@@ -105,6 +105,16 @@ func RunFabric(sc Scenario, nsegs, workers int) *FabricReport {
 		sr.gen = tb.StartGeneratorAt(frame, sc.LoadFrac)
 		start := tb.Sim.Now()
 		for _, s := range sc.Steps {
+			// Each segment gets its own clone of every stateful fault:
+			// segments run on different shard goroutines, so sharing one
+			// mutable fault instance across them would race — and a
+			// CorrelatedGE clone reproduces the shared chain from its seed,
+			// which is exactly how the correlated group spans segments
+			// without cross-shard state.
+			s.Fault = cloneFault(s.Fault)
+			if e, ok := s.Fault.(Expecter); ok {
+				e.Expectations(rig, sr.chk)
+			}
 			eng.schedule(tb.Sim, start, sc.Window, s)
 		}
 	}

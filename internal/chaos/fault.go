@@ -97,6 +97,10 @@ func (f *BurstEpisode) Verdict(r *Rig, pkt *simnet.Packet, from *simnet.Ifc) sim
 // InEnvelope: burst losses can exceed MaxConsecutiveLoss, so no.
 func (*BurstEpisode) InEnvelope() bool { return false }
 
+// CloneFault returns an episode with a fresh chain: the chain state is
+// mutable, so concurrent fabric segments each need their own.
+func (f *BurstEpisode) CloneFault() Fault { return NewBurstEpisode(f.AvgLoss, f.MeanBurst) }
+
 func (f *BurstEpisode) String() string {
 	return fmt.Sprintf("burst(%.0e,mean=%g)", f.AvgLoss, f.MeanBurst)
 }
@@ -195,6 +199,9 @@ func (f *ReorderStorm) Verdict(r *Rig, pkt *simnet.Packet, from *simnet.Ifc) sim
 
 // InEnvelope: a storm is a few-percent loss rate, far outside Table 1.
 func (*ReorderStorm) InEnvelope() bool { return false }
+
+// CloneFault returns a storm with a fresh frame counter.
+func (f *ReorderStorm) CloneFault() Fault { return &ReorderStorm{Every: f.Every} }
 
 func (f *ReorderStorm) String() string { return fmt.Sprintf("reorder-storm(1/%d)", f.Every) }
 

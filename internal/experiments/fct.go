@@ -72,6 +72,14 @@ type FCTOpts struct {
 	Seed     int64
 	// Gap separates consecutive trials.
 	Gap simtime.Duration
+	// RTOMin overrides the TCP minimum retransmission timeout (0 keeps the
+	// transport default of 1ms). The T-RACKs ablation sets ~100µs to model
+	// aggressive end-host fast recovery.
+	RTOMin simtime.Duration
+	// MeanBurst switches the corruption process from i.i.d. to a
+	// Gilbert–Elliott chain with this mean burst length in frames (0 keeps
+	// i.i.d.) — the compound-loss condition of the recovery ablation.
+	MeanBurst float64
 }
 
 // DefaultFCTOpts scales the paper's 300K-trial runs down to a tractable
@@ -185,6 +193,9 @@ func runFCTBlock(tr Transport, prot Protection, cfg core.Config, opts FCTOpts) f
 	if prot != NoLoss {
 		blk.dropped = make([][]int, opts.Trials)
 		inner := simnet.LossModel(simnet.IIDLoss{P: opts.LossRate})
+		if opts.MeanBurst > 0 {
+			inner = simnet.NewGilbertElliott(opts.LossRate, opts.MeanBurst)
+		}
 		tb.Link.DropFn = func(p *simnet.Packet, f *simnet.Ifc) bool {
 			if f != tb.Link.A() {
 				return false
@@ -225,7 +236,11 @@ func runFCTBlock(tr Transport, prot Protection, cfg core.Config, opts FCTOpts) f
 			case TransBBR:
 				v = transport.BBR
 			}
-			transport.StartTCPFlow(tb.Sim, tb.EP1, tb.EP2, flowID, opts.FlowSize, transport.DefaultTCPOpts(v), done)
+			o := transport.DefaultTCPOpts(v)
+			if opts.RTOMin > 0 {
+				o.RTOMin = opts.RTOMin
+			}
+			transport.StartTCPFlow(tb.Sim, tb.EP1, tb.EP2, flowID, opts.FlowSize, o, done)
 		}
 	}
 	launch()

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"linkguardian/internal/parallel"
+	"linkguardian/internal/simtime"
+)
+
+// T-RACKs-style end-host fast-recovery ablation: is aggressive end-host
+// recovery (a ~100µs RTOmin, in the spirit of T-RACKs/RACK timer-driven
+// recovery) a substitute for link-local retransmission? The grid crosses
+// the end-host recovery speed with the link condition — unprotected
+// corruption vs LinkGuardian — under both i.i.d. and compound (bursty)
+// loss. The paper's claim is that end-host knobs shave the recovery tail
+// but cannot mask the loss itself; the ablation quantifies the residual
+// tail each combination leaves.
+
+// TracksCell names one combination of the ablation grid.
+type TracksCell struct {
+	Recovery string           // "std-rto" (1ms) or "fast-rto" (~100µs)
+	RTOMin   simtime.Duration // end-host minimum RTO
+	Prot     Protection       // LossOnly or LG
+	Burst    bool             // compound (Gilbert–Elliott) vs i.i.d. loss
+}
+
+// Cond names the loss condition half of the cell.
+func (c TracksCell) Cond() string {
+	if c.Burst {
+		return "burst"
+	}
+	return "iid"
+}
+
+// TracksRow pairs a cell with its FCT distribution.
+type TracksRow struct {
+	Cell TracksCell
+	Res  FCTResult
+}
+
+func (r TracksRow) String() string {
+	return fmt.Sprintf("%-5s %-8s rtomin=%-6v %-5v p50=%8.1fµs p99=%8.1fµs p99.9=%8.1fµs p99.99=%8.1fµs",
+		r.Cell.Cond(), r.Cell.Recovery, r.Cell.RTOMin, r.Cell.Prot,
+		r.Res.P(50), r.Res.P(99), r.Res.P(99.9), r.Res.P(99.99))
+}
+
+// FastRTOMin is the ablation's aggressive end-host recovery timer.
+const FastRTOMin = 100 * simtime.Microsecond
+
+// tracksMeanBurst is the compound-loss condition's mean burst length in
+// frames — long enough that a burst regularly spans a whole TCP window's
+// tail, which is where timer-driven recovery is supposed to help.
+const tracksMeanBurst = 4
+
+// TracksAblation runs the full grid on 24,387B DCTCP flows at 1e-3 average
+// corruption. Cells run through the parallel engine and are returned in
+// grid order (loss condition, then protection, then recovery speed), so
+// output is byte-identical at any worker count.
+func TracksAblation(trials int) []TracksRow {
+	var cells []TracksCell
+	for _, burst := range []bool{false, true} {
+		for _, prot := range []Protection{LossOnly, LG} {
+			cells = append(cells,
+				TracksCell{Recovery: "std-rto", RTOMin: simtime.Millisecond, Prot: prot, Burst: burst},
+				TracksCell{Recovery: "fast-rto", RTOMin: FastRTOMin, Prot: prot, Burst: burst},
+			)
+		}
+	}
+	return parallel.Map(len(cells), func(i int) TracksRow {
+		c := cells[i]
+		opts := DefaultFCTOpts(24387)
+		opts.Trials = trials
+		opts.RTOMin = c.RTOMin
+		if c.Burst {
+			opts.MeanBurst = tracksMeanBurst
+		}
+		return TracksRow{Cell: c, Res: RunFCT(TransDCTCP, c.Prot, opts)}
+	})
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import "testing"
+
+// The ablation's qualitative ordering is the experiment's thesis: a faster
+// end-host RTOmin shaves the unprotected loss tail, but link-local
+// retransmission removes it — under both i.i.d. and compound loss, and
+// regardless of the end-host timer.
+func TestTracksAblationOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tracks ablation skipped in -short mode")
+	}
+	rows := TracksAblation(4000)
+	if len(rows) != 8 {
+		t.Fatalf("grid has %d cells, want 8", len(rows))
+	}
+	cell := func(cond, rec string, prot Protection) TracksRow {
+		for _, r := range rows {
+			if r.Cell.Cond() == cond && r.Cell.Recovery == rec && r.Cell.Prot == prot {
+				return r
+			}
+		}
+		t.Fatalf("missing cell %s/%s/%v", cond, rec, prot)
+		return TracksRow{}
+	}
+	for _, cond := range []string{"iid", "burst"} {
+		std := cell(cond, "std-rto", LossOnly).Res.P(99.99)
+		fast := cell(cond, "fast-rto", LossOnly).Res.P(99.99)
+		lgStd := cell(cond, "std-rto", LG).Res.P(99.99)
+		lgFast := cell(cond, "fast-rto", LG).Res.P(99.99)
+		// The unprotected tail must actually reach the RTO regime, or the
+		// ablation is measuring nothing.
+		if std < 1000 {
+			t.Errorf("%s: std-rto unprotected p99.99 = %.1fµs never hit an RTO", cond, std)
+		}
+		if fast >= std/2 {
+			t.Errorf("%s: fast RTOmin did not shave the unprotected tail: std=%.1fµs fast=%.1fµs", cond, std, fast)
+		}
+		// Link-local retransmission beats even the aggressive end-host
+		// timer, with either timer setting.
+		for name, lg := range map[string]float64{"std": lgStd, "fast": lgFast} {
+			if lg >= fast/2 {
+				t.Errorf("%s: LG(%s-rto) p99.99=%.1fµs not clearly below fast-rto unprotected %.1fµs",
+					cond, name, lg, fast)
+			}
+		}
+	}
+}

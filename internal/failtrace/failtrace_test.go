@@ -102,6 +102,73 @@ func TestGenerateSortedAndSized(t *testing.T) {
 	}
 }
 
+// Within a bucket the rate is log-uniform: split bucket 2 ([1e-4, 1e-3))
+// into decade thirds and check each third draws ~1/3 of the bucket's mass.
+func TestSampleLossRateLogUniformWithinBucket(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	thirds := make([]int, 3)
+	total := 0
+	for i := 0; i < 300000; i++ {
+		r := SampleLossRate(rng)
+		if BucketOf(r) != 2 {
+			continue
+		}
+		total++
+		pos := (math.Log10(r) - math.Log10(1e-4)) / (math.Log10(1e-3) - math.Log10(1e-4))
+		idx := int(pos * 3)
+		if idx > 2 {
+			idx = 2
+		}
+		thirds[idx]++
+	}
+	for i, c := range thirds {
+		frac := float64(c) / float64(total)
+		if math.Abs(frac-1.0/3) > 0.02 {
+			t.Errorf("log-third %d holds %.3f of bucket mass, want ~0.333", i, frac)
+		}
+	}
+}
+
+func TestGenerateEdgeCases(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		nLinks  int
+		horizon time.Duration
+	}{
+		{"no-links", 0, 1000 * time.Hour},
+		{"zero-horizon", 50, 0},
+		{"negative-horizon", 50, -time.Hour},
+		{"sub-mttf-horizon", 1, time.Minute},
+	} {
+		if evs := Generate(rand.New(rand.NewSource(6)), tc.nLinks, tc.horizon); len(evs) != 0 {
+			t.Errorf("%s: got %d events, want an empty trace", tc.name, len(evs))
+		}
+	}
+	// A horizon far beyond MTTF must re-arm links through repair cycles:
+	// strictly more events than links.
+	evs := Generate(rand.New(rand.NewSource(7)), 3, 100*MTTF)
+	if len(evs) <= 3 {
+		t.Fatalf("long horizon produced only %d events for 3 links — links never re-armed", len(evs))
+	}
+}
+
+func TestExpectedEvents(t *testing.T) {
+	for _, tc := range []struct {
+		nLinks  int
+		horizon time.Duration
+		want    float64
+	}{
+		{0, 1000 * time.Hour, 0},
+		{1, MTTF, 1},
+		{2000, 10 * time.Hour, 2},
+		{100, 100 * MTTF, 10000},
+	} {
+		if got := ExpectedEvents(tc.nLinks, tc.horizon); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("ExpectedEvents(%d, %v) = %v, want %v", tc.nLinks, tc.horizon, got, tc.want)
+		}
+	}
+}
+
 func TestGenerateDeterministic(t *testing.T) {
 	a := Generate(rand.New(rand.NewSource(9)), 100, 1000*time.Hour)
 	b := Generate(rand.New(rand.NewSource(9)), 100, 1000*time.Hour)

@@ -155,6 +155,8 @@ func (ep *Endpoint) register() {
 	r.CounterFunc("live.wire.tx_datagrams", func() uint64 { return ep.Wire.Stats.TxDatagrams })
 	r.CounterFunc("live.wire.rx_datagrams", func() uint64 { return ep.Wire.Stats.RxDatagrams })
 	r.CounterFunc("live.wire.tx_errors", func() uint64 { return ep.Wire.Stats.TxErrors })
+	r.CounterFunc("live.wire.send_retries", func() uint64 { return ep.Wire.Stats.SendRetries })
+	r.CounterFunc("live.wire.send_drops", func() uint64 { return ep.Wire.Stats.SendDrops })
 	r.CounterFunc("live.wire.decode_drops", func() uint64 { return ep.Wire.Stats.DecodeDrops })
 	r.CounterFunc("live.wire.encode_drops", func() uint64 { return ep.Wire.Stats.EncodeDrops })
 }

@@ -1,7 +1,10 @@
 package live
 
 import (
+	"errors"
 	"net"
+	"syscall"
+	"time"
 
 	"linkguardian/internal/simnet"
 )
@@ -11,9 +14,26 @@ import (
 type WireStats struct {
 	TxDatagrams uint64 // frames encoded and written to the socket
 	RxDatagrams uint64 // datagrams decoded and injected into the ingress MAC
-	TxErrors    uint64 // socket write failures (frame lost — wire loss)
+	TxErrors    uint64 // non-transient socket write failures (frame lost — wire loss)
+	SendRetries uint64 // transient write failures retried after backoff
+	SendDrops   uint64 // frames dropped after exhausting transient retries
 	DecodeDrops uint64 // datagrams rejected by the codec (corrupt frame)
 	EncodeDrops uint64 // frames the codec refused to emit (config bug)
+}
+
+// Transient send-error policy: a full kernel socket buffer (ENOBUFS, or
+// EAGAIN from a non-blocking path) drains in microseconds, so a short
+// bounded backoff usually saves the frame. Anything longer would stall the
+// loop goroutine — past maxSendAttempts the frame is surrendered to the
+// protocol's own loss recovery, which treats it as a wire loss.
+const maxSendAttempts = 3
+
+var sendBackoff = [maxSendAttempts - 1]time.Duration{50 * time.Microsecond, 200 * time.Microsecond}
+
+// transientSendErr reports whether a socket write error is worth retrying.
+func transientSendErr(err error) bool {
+	return errors.Is(err, syscall.ENOBUFS) || errors.Is(err, syscall.EAGAIN) ||
+		errors.Is(err, syscall.EWOULDBLOCK)
 }
 
 // Wire binds one wire-facing interface to a UDP socket: the live half of a
@@ -39,6 +59,9 @@ type Wire struct {
 	deliverTo string
 
 	encBuf []byte // reused encode buffer; loop goroutine only
+
+	// writeTo performs the socket write; a seam for fault-injection tests.
+	writeTo func(b []byte) (int, error)
 }
 
 // AttachWire connects ifc (the local switch's interface on the protected
@@ -55,6 +78,7 @@ func AttachWire(loop *Loop, ifc *simnet.Ifc, conn *net.UDPConn, peer *net.UDPAdd
 		deliverTo: deliverTo,
 		encBuf:    make([]byte, 0, simnet.MaxLGDatagramBytes),
 	}
+	w.writeTo = func(b []byte) (int, error) { return w.conn.WriteToUDP(b, w.peer) }
 	// Socket buffers sized for bursts: a paced catch-up batch or a
 	// retransmission volley must not shed frames in the kernel. (Losses
 	// there are recovered by the protocol anyway — they are wire losses —
@@ -84,11 +108,32 @@ func (w *Wire) carry(pkt *simnet.Packet, from *simnet.Ifc) {
 		return
 	}
 	w.encBuf = b[:0]
-	if _, err := w.conn.WriteToUDP(b, w.peer); err != nil {
-		w.Stats.TxErrors++
+	if !w.send(b) {
 		return
 	}
 	w.Stats.TxDatagrams++
+}
+
+// send writes one encoded datagram, retrying transient kernel-side failures
+// (ENOBUFS/EAGAIN) a bounded number of times with a short backoff. Reports
+// whether the datagram made it onto the socket.
+func (w *Wire) send(b []byte) bool {
+	for attempt := 0; ; attempt++ {
+		_, err := w.writeTo(b)
+		if err == nil {
+			return true
+		}
+		if !transientSendErr(err) {
+			w.Stats.TxErrors++
+			return false
+		}
+		if attempt == maxSendAttempts-1 {
+			w.Stats.SendDrops++
+			return false
+		}
+		w.Stats.SendRetries++
+		time.Sleep(sendBackoff[attempt])
+	}
 }
 
 // readLoop pulls datagrams off the socket and ships each one — copied, so

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"linkguardian/internal/simnet"
+)
+
+func TestRegisterEngineExposesPerShardMetrics(t *testing.T) {
+	e := simnet.NewEngine(1, 2)
+	for i := 0; i < e.Shards(); i++ {
+		sh := e.Shard(i)
+		sh.Sim.After(0, func() {})
+	}
+	e.Run(1)
+
+	r := NewRegistry()
+	RegisterEngine(r, "eng", e)
+	snap := r.Snapshot()
+
+	for _, name := range []string{
+		"eng.shard0.fired", "eng.shard1.fired",
+		"eng.shard0.windows", "eng.shard1.windows",
+		"eng.shard0.lookahead_stalls", "eng.shard0.handoffs_out", "eng.shard0.handoffs_in",
+	} {
+		found := false
+		for _, c := range snap.Counters {
+			if c.Name == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("counter %q not registered", name)
+		}
+	}
+	if got := snap.Counter("eng.shard0.fired"); got != 1 {
+		t.Errorf("shard0 fired = %d, want 1", got)
+	}
+	if snap.Gauge("eng.shard0.queue_depth").Value != 0 {
+		t.Errorf("queue depth nonzero after run: %+v", snap.Gauge("eng.shard0.queue_depth"))
+	}
+}
+
+func TestAddHistogramAndSum(t *testing.T) {
+	h := NewHistogram(1, 10)
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+	if h.Sum() != 55.5 {
+		t.Fatalf("Sum = %v, want 55.5", h.Sum())
+	}
+
+	r := NewRegistry()
+	r.AddHistogram("ext.hist", h)
+	hp, ok := r.Snapshot().Histogram("ext.hist")
+	if !ok {
+		t.Fatal("externally owned histogram missing from snapshot")
+	}
+	if hp.N != 3 || hp.Sum != 55.5 {
+		t.Fatalf("snapshot histogram = %+v, want n=3 sum=55.5", hp)
+	}
+	// The registry shares, not copies: later observations show up.
+	h.Observe(2)
+	if hp, _ = r.Snapshot().Histogram("ext.hist"); hp.N != 4 {
+		t.Fatalf("snapshot n = %d after fourth observation, want 4", hp.N)
+	}
+}
+
+func TestWriteMetricsFile(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(3)
+	snap := r.Snapshot()
+
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	if err := WriteMetricsFile(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) == 0 {
+		t.Fatal("metrics file empty")
+	}
+	// Unwritable path surfaces the create error.
+	if err := WriteMetricsFile(filepath.Join(t.TempDir(), "no", "such", "dir.json"), snap); err == nil {
+		t.Fatal("expected error for unwritable path")
+	}
+}
