@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 build vet test race bench bench-smoke bench-par-smoke chaos cover fuzz live-smoke clean
+.PHONY: all tier1 build vet test race bench bench-smoke bench-par-smoke chaos cover fuzz live-smoke fleet-smoke clean
 
 all: tier1
 
@@ -28,11 +28,12 @@ race:
 	$(GO) test -race ./internal/parallel
 	$(GO) test -race -run 'TestParallel.*MatchesSerial|TestFabricStressShardInvariance' ./internal/experiments
 	$(GO) test -race -run 'TestEngine' ./internal/simnet
+	$(GO) test -race -run 'TestFleetWorkerInvariance' ./internal/fleetsim
 	$(GO) test -race -count=1 ./internal/live
 
-# Full hot-path benchmarks (sequential + sharded-parallel engines);
-# time-based samples, best-of-3 with recorded variance, written as
-# BENCH_6.json at the repository root.
+# Full hot-path benchmarks (sequential + sharded-parallel engines) plus
+# the fleet-simulation matrix; time-based samples, best-of-3 with recorded
+# variance, written as BENCH_8.json at the repository root.
 bench:
 	./scripts/bench.sh
 	$(GO) test -bench . -run '^$$' ./internal/eventq
@@ -62,6 +63,14 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzLGDataWire -fuzztime 7s ./internal/simnet
 	$(GO) test -run '^$$' -fuzz FuzzLGAckWire -fuzztime 7s ./internal/simnet
 	$(GO) test -run '^$$' -fuzz FuzzTraceEventString -fuzztime 8s ./internal/simnet
+	$(GO) test -run '^$$' -fuzz FuzzLinkLifecycle -fuzztime 10s ./internal/fleetsim
+
+# Fleet-simulation smoke gate: the full solution matrix on a small fleet,
+# with the engine re-rendering the Pareto table at -workers 1/2/4/8 and
+# failing on any byte difference (the worker-invariance contract, exercised
+# end to end through cmd/fleetsim rather than the unit test).
+fleet-smoke:
+	$(GO) run ./cmd/fleetsim -solutions all -links 20000 -years 0.25 -invariance
 
 # Chaos robustness gate: the curated fault scenarios plus a fixed-seed,
 # fixed-budget randomized sweep. Failures reproduce exactly from the index

@@ -1,61 +1,139 @@
-// Command fleetsim runs the §4.8 large-scale deployment simulation:
-// CorrOpt vs LinkGuardian+CorrOpt on a Facebook-fabric topology under a
-// synthetic corruption trace, reporting the Figure 15 time series and the
-// Figure 16 distributions.
+// Command fleetsim runs the §4.8 large-scale deployment simulation in two
+// modes.
 //
-// Usage:
+// Legacy mode (default) reproduces the paper's CorrOpt vs
+// LinkGuardian+CorrOpt comparison on a Facebook-fabric topology, reporting
+// the Figure 15 time series and the Figure 16 distributions — byte-
+// identical to the pre-plugin simulator:
 //
 //	fleetsim [-pods 256] [-days 365] [-constraint 0.75] [-sample 6h]
 //	         [-seed 1] [-series] [-workers 0]
+//
+// Matrix mode (-solutions) scales to multi-million-link fabrics on the
+// compact sharded engine and emits one Pareto table comparing repair
+// solutions (cost vs capacity vs residual loss):
+//
+//	fleetsim -solutions all -links 1000000 [-years 1] [-constraint 0.75]
+//	         [-sample 6h] [-seed 1] [-pods-per-shard 32] [-workers 0]
+//	         [-metrics-out fleet_metrics.json] [-invariance]
+//
+// Results are byte-identical at any -workers in both modes.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"os"
 	"time"
 
 	"linkguardian/internal/experiments"
+	"linkguardian/internal/fleetsim"
+	"linkguardian/internal/obs"
 	"linkguardian/internal/parallel"
 )
 
 func main() {
-	pods := flag.Int("pods", 256, "fabric pods (256 = ~100K links, the paper's scale)")
-	days := flag.Int("days", 365, "simulated horizon in days")
+	pods := flag.Int("pods", 256, "fabric pods (256 = ~100K links, the paper's scale; legacy mode)")
+	days := flag.Int("days", 365, "simulated horizon in days (legacy mode)")
 	constraint := flag.Float64("constraint", 0.75, "capacity constraint (least paths per ToR)")
 	sample := flag.Duration("sample", 6*time.Hour, "metric sampling interval")
 	seed := flag.Int64("seed", 1, "trace seed")
-	series := flag.Bool("series", false, "print the full Figure 15 time series")
+	series := flag.Bool("series", false, "print the full Figure 15 time series (legacy mode)")
 	workers := flag.Int("workers", 0, "parallel worker count (0 = all cores); results are identical at any setting")
+
+	solutions := flag.String("solutions", "", "matrix mode: comma-separated repair solutions (corropt,lg,wharf,p4protect) or 'all'")
+	links := flag.Int("links", 1_000_000, "matrix mode: target link count, rounded up to whole pods")
+	years := flag.Float64("years", 1, "matrix mode: simulated horizon in years")
+	podsPerShard := flag.Int("pods-per-shard", 32, "matrix mode: pods per shard (fixed by config, never by -workers)")
+	metricsOut := flag.String("metrics-out", "", "matrix mode: write per-shard fleet counters as a metrics JSON file")
+	invariance := flag.Bool("invariance", false, "matrix mode: re-run at workers 1/2/4/8 and fail unless all outputs are byte-identical")
 	flag.Parse()
 	parallel.SetWorkers(*workers)
 
+	if *solutions == "" {
+		legacy(*pods, *days, *constraint, *sample, *seed, *series)
+		return
+	}
+
+	sols, err := fleetsim.ParseSolutions(*solutions)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fleetsim:", err)
+		os.Exit(2)
+	}
+	cfg := fleetsim.Config{
+		Links:        *links,
+		Horizon:      time.Duration(*years * 365 * 24 * float64(time.Hour)),
+		SampleEvery:  *sample,
+		Seed:         *seed,
+		Constraint:   *constraint,
+		PodsPerShard: *podsPerShard,
+	}
+
+	if *invariance {
+		if err := checkInvariance(cfg, sols); err != nil {
+			fmt.Fprintln(os.Stderr, "fleetsim: worker invariance FAILED:", err)
+			os.Exit(1)
+		}
+		fmt.Println("worker invariance ok: identical Pareto tables at workers 1/2/4/8")
+	}
+
+	start := time.Now()
+	m := fleetsim.RunMatrix(cfg, sols)
+	elapsed := time.Since(start)
+	if err := m.WriteParetoTable(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fleetsim:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "simulated %d links x %d solutions in %s\n",
+		m.Config.NumLinks(), len(m.Results), elapsed.Round(time.Millisecond))
+
+	if *metricsOut != "" {
+		reg := obs.NewRegistry()
+		obs.RegisterFleet(reg, "fleet", m.ObsStats())
+		if err := obs.WriteMetricsFile(*metricsOut, reg.Snapshot()); err != nil {
+			fmt.Fprintln(os.Stderr, "fleetsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *metricsOut)
+	}
+}
+
+// legacy reproduces the pre-plugin §4.8 report (both policies expressed as
+// Solution plugins; the differential golden test pins the bytes).
+func legacy(pods, days int, constraint float64, sample time.Duration, seed int64, series bool) {
 	opts := experiments.FleetOpts{
-		Pods:        *pods,
-		Horizon:     time.Duration(*days) * 24 * time.Hour,
-		SampleEvery: *sample,
-		Seed:        *seed,
+		Pods:        pods,
+		Horizon:     time.Duration(days) * 24 * time.Hour,
+		SampleEvery: sample,
+		Seed:        seed,
 	}
-	fc := experiments.RunFleet(*constraint, opts)
-	fmt.Printf("fabric: %d links, constraint %.0f%%, horizon %dd\n", fc.Links, *constraint*100, *days)
-	fmt.Println(fc)
+	fc := experiments.RunFleet(constraint, opts)
+	if err := experiments.WriteFleetReport(os.Stdout, fc, days, series); err != nil {
+		fmt.Fprintln(os.Stderr, "fleetsim:", err)
+		os.Exit(1)
+	}
+}
 
-	fmt.Println("\nFigure 16a — gain in total penalty (vanilla/combined):")
-	for _, p := range []float64{10, 25, 50, 75, 90, 99} {
-		fmt.Printf("  p%-4g %.4g\n", p, fc.PenaltyGain.Percentile(p))
-	}
-	fmt.Println("Figure 16b — decrease in least capacity per pod (percent points):")
-	for _, p := range []float64{50, 90, 99, 100} {
-		fmt.Printf("  p%-4g %.4f\n", p, fc.CapacityDecreasePP.Percentile(p))
-	}
-
-	if *series {
-		fmt.Println("\nFigure 15 series (day, penaltyV, penaltyC, pathsV, pathsC, capV, capC, LG links, maxLG/pipe):")
-		for i := range fc.Vanilla {
-			v, c := fc.Vanilla[i], fc.Combined[i]
-			fmt.Printf("%7.2f  %10.3e  %10.3e  %6.4f  %6.4f  %6.4f  %6.4f  %4d  %2d\n",
-				v.At.Hours()/24, v.TotalPenalty, c.TotalPenalty,
-				v.LeastPaths, c.LeastPaths, v.LeastPodCap, c.LeastPodCap,
-				c.LGActive, c.MaxLGPerPipe)
+// checkInvariance renders the Pareto table at several worker counts and
+// compares the bytes; any divergence is a determinism regression in the
+// sharded engine.
+func checkInvariance(cfg fleetsim.Config, sols []fleetsim.Solution) error {
+	defer parallel.SetWorkers(0)
+	var want []byte
+	for _, w := range []int{1, 2, 4, 8} {
+		parallel.SetWorkers(w)
+		var buf bytes.Buffer
+		if err := fleetsim.RunMatrix(cfg, sols).WriteParetoTable(&buf); err != nil {
+			return err
+		}
+		if want == nil {
+			want = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(want, buf.Bytes()) {
+			return fmt.Errorf("output at -workers %d differs from -workers 1", w)
 		}
 	}
+	return nil
 }

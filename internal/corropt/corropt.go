@@ -45,6 +45,26 @@ func (p Policy) String() string {
 	return "CorrOpt"
 }
 
+// Mitigation is the per-link repair-solution seam of the fleet simulator:
+// given a corrupting link's measured loss rate it returns the effective
+// loss rate and effective capacity fraction the mitigation achieves, and
+// whether it engages at all. internal/fleetsim adapts its Solution plugins
+// into this type; when nil, Options.Policy selects one of the built-in
+// behaviors (Vanilla: never engage; WithLinkGuardian: Equation 2 effective
+// loss at Figure 8 effective speed).
+type Mitigation func(lossRate float64) (effLoss, effCapacity float64, enabled bool)
+
+// PolicyMitigation returns the built-in Mitigation for a policy, using the
+// given operator target and effective-speed mapping.
+func PolicyMitigation(p Policy, targetLoss float64, effSpeed func(lossRate float64) float64) Mitigation {
+	if p == WithLinkGuardian {
+		return func(q float64) (float64, float64, bool) {
+			return EffLoss(q, targetLoss), effSpeed(q), true
+		}
+	}
+	return func(q float64) (float64, float64, bool) { return q, 1, false }
+}
+
 // Options parameterizes a fleet simulation run.
 type Options struct {
 	Constraint float64 // least-paths-per-ToR constraint (0.5 or 0.75)
@@ -53,6 +73,10 @@ type Options struct {
 	// EffSpeed maps a link's actual loss rate to LinkGuardian's effective
 	// link speed fraction. Defaults to Figure8EffSpeed.
 	EffSpeed func(lossRate float64) float64
+	// Mitigate is the repair-solution plugin applied to each corruption
+	// onset on a mitigation-capable link. Nil selects the built-in
+	// behavior for Policy.
+	Mitigate Mitigation
 
 	// DeployFraction models incremental deployment (§5): only this
 	// fraction of links terminate on LinkGuardian-capable switches.
@@ -128,6 +152,9 @@ func Run(rng *rand.Rand, net *fabric.Network, trace []failtrace.Event, opts Opti
 	if opts.TargetLoss == 0 {
 		opts.TargetLoss = 1e-8
 	}
+	if opts.Mitigate == nil {
+		opts.Mitigate = PolicyMitigation(opts.Policy, opts.TargetLoss, opts.EffSpeed)
+	}
 	s := &simState{rng: rng, net: net, opts: opts}
 	var samples []Sample
 	ti := 0
@@ -189,8 +216,10 @@ func (s *simState) onset(ev failtrace.Event) {
 		return // already out for repair; corruption moot
 	}
 	s.net.SetCorrupting(ev.LinkID, ev.LossRate)
-	if s.opts.Policy == WithLinkGuardian && s.opts.lgCapable(ev.LinkID) {
-		s.net.EnableLG(ev.LinkID, EffLoss(ev.LossRate, s.opts.TargetLoss), s.opts.EffSpeed(ev.LossRate))
+	if s.opts.lgCapable(ev.LinkID) {
+		if effLoss, effSpeed, on := s.opts.Mitigate(ev.LossRate); on {
+			s.net.EnableLG(ev.LinkID, effLoss, effSpeed)
+		}
 	}
 	// CorrOpt fast checker: disable immediately if safe.
 	if s.net.CanDisable(ev.LinkID, s.opts.Constraint) {

@@ -2,12 +2,14 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"time"
 
 	"linkguardian/internal/corropt"
 	"linkguardian/internal/fabric"
 	"linkguardian/internal/failtrace"
+	"linkguardian/internal/fleetsim"
 	"linkguardian/internal/parallel"
 	"linkguardian/internal/stats"
 )
@@ -47,23 +49,27 @@ type FleetComparison struct {
 // replay the same trace on independent fabric instances with independent
 // (identically seeded, for a paired comparison) repair-time RNGs, so they
 // execute concurrently on the parallel engine with no shared state.
+//
+// Both policies are expressed as fleetsim Solution plugins adapted into
+// the corropt mitigation seam; the differential golden test pins this path
+// byte-for-byte to the pre-plugin simulator's output.
 func RunFleet(constraint float64, opts FleetOpts) FleetComparison {
 	cfg := fabric.DefaultConfig()
 	cfg.Pods = opts.Pods
 	trace := failtrace.Generate(rand.New(rand.NewSource(opts.Seed)), cfg.NumLinks(), opts.Horizon)
 
-	run := func(policy corropt.Policy) []corropt.Sample {
+	run := func(sol fleetsim.Solution) []corropt.Sample {
 		net := fabric.New(cfg)
 		rng := rand.New(rand.NewSource(opts.Seed + 1000))
 		return corropt.Run(rng, net, trace, corropt.Options{
 			Constraint: constraint,
-			Policy:     policy,
+			Mitigate:   fleetsim.Mitigation(sol),
 		}, opts.SampleEvery, opts.Horizon)
 	}
 	fc := FleetComparison{Constraint: constraint, Links: cfg.NumLinks()}
 	parallel.Do(
-		func() { fc.Vanilla = run(corropt.Vanilla) },
-		func() { fc.Combined = run(corropt.WithLinkGuardian) },
+		func() { fc.Vanilla = run(fleetsim.CorrOptOnly{}) },
+		func() { fc.Combined = run(fleetsim.LinkGuardian{}) },
 	)
 	gains, capDec := corropt.Gain(fc.Vanilla, fc.Combined)
 	// Cap infinities for the distribution (combined penalty of exactly 0).
@@ -98,6 +104,39 @@ func (fc FleetComparison) String() string {
 		fc.Constraint*100, fc.Links,
 		fc.PenaltyGain.Percentile(50), fc.PenaltyGain.Percentile(90), fc.PenaltyGain.Max(),
 		fc.CapacityDecreasePP.Percentile(50), fc.CapacityDecreasePP.Percentile(99))
+}
+
+// WriteFleetReport renders the §4.8 report exactly as cmd/fleetsim has
+// printed it since the seed: the fabric header, the Figure 16 summary and
+// percentiles, and (optionally) the full Figure 15 series. The byte layout
+// is frozen — the differential golden test compares this output against
+// the pre-plugin simulator's captured stdout.
+func WriteFleetReport(w io.Writer, fc FleetComparison, days int, series bool) error {
+	if _, err := fmt.Fprintf(w, "fabric: %d links, constraint %.0f%%, horizon %dd\n", fc.Links, fc.Constraint*100, days); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, fc)
+
+	fmt.Fprintln(w, "\nFigure 16a — gain in total penalty (vanilla/combined):")
+	for _, p := range []float64{10, 25, 50, 75, 90, 99} {
+		fmt.Fprintf(w, "  p%-4g %.4g\n", p, fc.PenaltyGain.Percentile(p))
+	}
+	fmt.Fprintln(w, "Figure 16b — decrease in least capacity per pod (percent points):")
+	for _, p := range []float64{50, 90, 99, 100} {
+		fmt.Fprintf(w, "  p%-4g %.4f\n", p, fc.CapacityDecreasePP.Percentile(p))
+	}
+
+	if series {
+		fmt.Fprintln(w, "\nFigure 15 series (day, penaltyV, penaltyC, pathsV, pathsC, capV, capC, LG links, maxLG/pipe):")
+		for i := range fc.Vanilla {
+			v, c := fc.Vanilla[i], fc.Combined[i]
+			fmt.Fprintf(w, "%7.2f  %10.3e  %10.3e  %6.4f  %6.4f  %6.4f  %6.4f  %4d  %2d\n",
+				v.At.Hours()/24, v.TotalPenalty, c.TotalPenalty,
+				v.LeastPaths, c.LeastPaths, v.LeastPodCap, c.LeastPodCap,
+				c.LGActive, c.MaxLGPerPipe)
+		}
+	}
+	return nil
 }
 
 // Figures15And16 runs the comparison for both capacity constraints of the

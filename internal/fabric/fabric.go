@@ -29,7 +29,33 @@ func DefaultConfig() Config {
 // NumLinks returns the total optical link count of a fabric with this
 // configuration, without allocating the (potentially ~100K-link) Network.
 func (c Config) NumLinks() int {
-	return c.Pods * (c.ToRsPerPod*c.FabricsPerPod + c.FabricsPerPod*c.SpinesPerPlane)
+	return c.Pods * c.LinksPerPod()
+}
+
+// TorLinksPerPod is the number of ToR-to-fabric links in one pod.
+func (c Config) TorLinksPerPod() int { return c.ToRsPerPod * c.FabricsPerPod }
+
+// SpineLinksPerPod is the number of fabric-to-spine links in one pod.
+func (c Config) SpineLinksPerPod() int { return c.FabricsPerPod * c.SpinesPerPlane }
+
+// LinksPerPod is the total optical link count of one pod. Link IDs are laid
+// out pod-major: pod p owns [p*LinksPerPod(), (p+1)*LinksPerPod()), ToR
+// links first, spine links after — the layout contract shared by Network
+// and the compact per-shard state of internal/fleetsim.
+func (c Config) LinksPerPod() int { return c.TorLinksPerPod() + c.SpineLinksPerPod() }
+
+// MaxToRPaths is the healthy per-ToR path count (192 for the default pod).
+func (c Config) MaxToRPaths() int { return c.FabricsPerPod * c.SpinesPerPlane }
+
+// PodsFor returns the smallest pod count whose fabric has at least the
+// given number of links — how cmd/fleetsim turns a -links target into a
+// concrete topology.
+func (c Config) PodsFor(links int) int {
+	per := c.LinksPerPod()
+	if links <= per {
+		return 1
+	}
+	return (links + per - 1) / per
 }
 
 // Link is the state of one optical link.
@@ -83,9 +109,8 @@ func New(cfg Config) *Network {
 // Cfg returns the network's configuration.
 func (n *Network) Cfg() Config { return n.cfg }
 
-func (n *Network) torLinksPerPod() int   { return n.cfg.ToRsPerPod * n.cfg.FabricsPerPod }
-func (n *Network) spineLinksPerPod() int { return n.cfg.FabricsPerPod * n.cfg.SpinesPerPlane }
-func (n *Network) linksPerPod() int      { return n.torLinksPerPod() + n.spineLinksPerPod() }
+func (n *Network) torLinksPerPod() int { return n.cfg.TorLinksPerPod() }
+func (n *Network) linksPerPod() int    { return n.cfg.LinksPerPod() }
 
 // NumLinks returns the total optical link count.
 func (n *Network) NumLinks() int { return n.cfg.NumLinks() }
@@ -208,7 +233,7 @@ func (n *Network) ToRPaths(pod, tor int) int {
 }
 
 // MaxToRPaths is the healthy per-ToR path count (192 for the default pod).
-func (n *Network) MaxToRPaths() int { return n.cfg.FabricsPerPod * n.cfg.SpinesPerPlane }
+func (n *Network) MaxToRPaths() int { return n.cfg.MaxToRPaths() }
 
 // LeastPathsFrac returns the worst-case ToR's fraction of healthy paths —
 // the capacity-constraint metric of §4.8.

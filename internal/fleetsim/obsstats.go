@@ -1,0 +1,26 @@
+package fleetsim
+
+import "linkguardian/internal/obs"
+
+// ObsStats converts the matrix's per-shard counters into the obs-side
+// schema for obs.RegisterFleet (obs cannot import this package, so the
+// conversion lives here).
+func (m *MatrixResult) ObsStats() []obs.FleetSolutionStats {
+	out := make([]obs.FleetSolutionStats, 0, len(m.Results))
+	for _, res := range m.Results {
+		s := obs.FleetSolutionStats{Solution: res.Solution}
+		for _, sh := range res.Shards {
+			s.Shards = append(s.Shards, obs.FleetShardStats{
+				Links:            sh.Links,
+				Onsets:           sh.Onsets,
+				Repairs:          sh.Repairs,
+				Activations:      sh.Activations,
+				Disables:         sh.Disables,
+				MaxRepairBacklog: sh.MaxRepairBacklog,
+				MaxCorrupting:    sh.MaxCorrupting,
+			})
+		}
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package fleetsim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ParetoRow is one solution's aggregate position in the cost vs capacity
+// vs residual-loss trade space, computed from its merged sample series.
+type ParetoRow struct {
+	Solution    string
+	Cost        float64 // final cumulative cost (repairs + activations)
+	Repairs     int     // repair dispatches over the horizon
+	Activations int     // solution activations over the horizon
+
+	MeanPenalty float64 // residual loss: mean of TotalPenalty over samples
+	P99Penalty  float64
+	MaxPenalty  float64
+
+	MinLeastPaths float64 // worst sampled least-paths fraction
+	MinLeastCap   float64 // worst sampled least-capacity fraction
+	MeanLeastCap  float64
+}
+
+// Pareto reduces each solution's series to its ParetoRow, in matrix order.
+func (m MatrixResult) Pareto() []ParetoRow {
+	rows := make([]ParetoRow, 0, len(m.Results))
+	for _, res := range m.Results {
+		rows = append(rows, paretoRow(res))
+	}
+	return rows
+}
+
+func paretoRow(res SolutionResult) ParetoRow {
+	r := ParetoRow{Solution: res.Solution, MinLeastPaths: 1, MinLeastCap: 1}
+	if len(res.Samples) == 0 {
+		return r
+	}
+	penalties := make([]float64, 0, len(res.Samples))
+	for _, s := range res.Samples {
+		penalties = append(penalties, s.TotalPenalty)
+		r.MeanPenalty += s.TotalPenalty
+		if s.TotalPenalty > r.MaxPenalty {
+			r.MaxPenalty = s.TotalPenalty
+		}
+		if s.LeastPaths < r.MinLeastPaths {
+			r.MinLeastPaths = s.LeastPaths
+		}
+		if s.LeastPodCap < r.MinLeastCap {
+			r.MinLeastCap = s.LeastPodCap
+		}
+		r.MeanLeastCap += s.LeastPodCap
+	}
+	n := float64(len(res.Samples))
+	r.MeanPenalty /= n
+	r.MeanLeastCap /= n
+	sort.Float64s(penalties)
+	idx := int(0.99 * float64(len(penalties)-1))
+	r.P99Penalty = penalties[idx]
+	last := res.Samples[len(res.Samples)-1]
+	r.Cost = last.Cost
+	r.Repairs = last.Repairs
+	for _, sh := range res.Shards {
+		r.Activations += int(sh.Activations)
+	}
+	return r
+}
+
+// WriteParetoTable renders the solution matrix as one fixed-width table:
+// cost, residual loss, and capacity side by side for every strategy. The
+// formatting is byte-stable — the worker-invariance tests compare rendered
+// tables directly.
+func (m MatrixResult) WriteParetoTable(w io.Writer) error {
+	days := m.Config.Horizon.Hours() / 24
+	if _, err := fmt.Fprintf(w, "Pareto — cost vs capacity vs residual loss: %d links, %d pods, %d shards, %.4gd horizon, seed %d\n",
+		m.Config.Fabric.NumLinks(), m.Config.Fabric.Pods, m.Config.Shards(), days, m.Config.Seed); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-10s %12s %8s %8s  %11s %11s %11s  %9s %9s %9s\n",
+		"solution", "cost", "repairs", "activ",
+		"pen(mean)", "pen(p99)", "pen(max)",
+		"paths(min)", "cap(min)", "cap(mean)"); err != nil {
+		return err
+	}
+	for _, r := range m.Pareto() {
+		if _, err := fmt.Fprintf(w, "%-10s %12.2f %8d %8d  %11.4e %11.4e %11.4e  %9.4f %9.4f %9.4f\n",
+			r.Solution, r.Cost, r.Repairs, r.Activations,
+			r.MeanPenalty, r.P99Penalty, r.MaxPenalty,
+			r.MinLeastPaths, r.MinLeastCap, r.MeanLeastCap); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+package obs
+
+import "fmt"
+
+// FleetShardStats is one shard's worth of fleet-simulation counters, the
+// obs-side mirror of fleetsim.ShardStats (obs cannot import fleetsim —
+// fleetsim reaches obs transitively through corropt/core — so the fleet
+// engine converts via MatrixResult.ObsStats).
+type FleetShardStats struct {
+	Links            int
+	Onsets           uint64
+	Repairs          uint64
+	Activations      uint64
+	Disables         uint64
+	MaxRepairBacklog int
+	MaxCorrupting    int
+}
+
+// FleetSolutionStats groups one solution's per-shard counters.
+type FleetSolutionStats struct {
+	Solution string
+	Shards   []FleetShardStats
+}
+
+// RegisterFleet exposes per-shard fleet-simulation counters under
+// "<prefix>.<solution>.shard<i>": links simulated, corruption onsets,
+// repair dispatches and completions, solution activations, and the peak
+// repair backlog and corrupting-set sizes. Values are captured at
+// registration time — the fleet engine runs to completion before its
+// stats are exported, so there is no live state to sample.
+func RegisterFleet(r *Registry, prefix string, sols []FleetSolutionStats) {
+	for _, sol := range sols {
+		for i, sh := range sol.Shards {
+			sh := sh
+			p := fmt.Sprintf("%s.%s.shard%d", prefix, sol.Solution, i)
+			r.GaugeFunc(p+".links", func() float64 { return float64(sh.Links) })
+			r.CounterFunc(p+".onsets", func() uint64 { return sh.Onsets })
+			r.CounterFunc(p+".repairs", func() uint64 { return sh.Repairs })
+			r.CounterFunc(p+".activations", func() uint64 { return sh.Activations })
+			r.CounterFunc(p+".disables", func() uint64 { return sh.Disables })
+			r.GaugeFunc(p+".max_repair_backlog", func() float64 { return float64(sh.MaxRepairBacklog) })
+			r.GaugeFunc(p+".max_corrupting", func() float64 { return float64(sh.MaxCorrupting) })
+		}
+	}
+}

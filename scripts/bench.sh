@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Runs the dataplane hot-path benchmarks — the single-link engine
 # (BenchmarkHotPath_PktsPerSec) and the sharded parallel engine on the
-# 4-segment fabric (BenchmarkParHotPath_PktsPerSec) — and records the
-# results as BENCH_6.json at the repository root.
+# 4-segment fabric (BenchmarkParHotPath_PktsPerSec) — plus the fleet
+# simulation matrix (BenchmarkFleetPareto: four repair solutions over a
+# 100K-link fleet for one simulated year per iteration), and records the
+# results as BENCH_8.json at the repository root.
 #
 # Methodology (stability over the old 5x iteration count):
 #   - time-based -benchtime (default 1s) so every sample aggregates enough
@@ -22,11 +24,19 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1s}"
 COUNT="${COUNT:-3}"
-OUT="${OUT:-BENCH_6.json}"
+OUT="${OUT:-BENCH_8.json}"
 
 raw="$(go test -run '^$' -bench 'BenchmarkHotPath_PktsPerSec|BenchmarkParHotPath_PktsPerSec' \
     -benchtime "$BENCHTIME" -count "$COUNT" .)"
 echo "$raw"
+
+# The fleet matrix iterates in whole simulated years (~2.5s per iteration
+# on one core), so it runs on iteration count, not -benchtime.
+rawfleet="$(go test -run '^$' -bench 'BenchmarkFleetPareto' \
+    -benchtime "${FLEET_ITERS:-3}x" ./internal/fleetsim)"
+echo "$rawfleet"
+raw="$raw
+$rawfleet"
 
 cpus="$(go env GOMAXPROCS 2>/dev/null || true)"
 case "$cpus" in ''|*[!0-9]*) cpus=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1) ;; esac
@@ -80,9 +90,16 @@ emit() {
 base4_clean=793241
 base4_lossy=632564
 
+fleet_lys=$(samples "FleetPareto" "linkyears/sec" | best)
+fleet_ns=$(samples "FleetPareto" "ns/op" | worst)
+if [ -z "$fleet_lys" ]; then
+    echo "bench.sh: no samples for FleetPareto" >&2
+    exit 1
+fi
+
 {
     printf '{\n'
-    printf '  "bench": "BenchmarkHotPath_PktsPerSec + BenchmarkParHotPath_PktsPerSec",\n'
+    printf '  "bench": "BenchmarkHotPath_PktsPerSec + BenchmarkParHotPath_PktsPerSec + BenchmarkFleetPareto",\n'
     printf '  "benchtime": "%s",\n' "$BENCHTIME"
     printf '  "count": %d,\n' "$COUNT"
     printf '  "cpus": %d,\n' "$cpus"
@@ -90,6 +107,13 @@ base4_lossy=632564
     emit "lossy_1e3" "HotPath_PktsPerSec/lossy-1e-3" "$base4_lossy";      printf ',\n'
     emit "par_shards_1" "ParHotPath_PktsPerSec/shards-1";                 printf ',\n'
     emit "par_shards_4" "ParHotPath_PktsPerSec/shards-4";                 printf ',\n'
+    printf '  "fleet_pareto": {\n'
+    printf '    "links": 100224,\n'
+    printf '    "solutions": 4,\n'
+    printf '    "horizon_years": 1,\n'
+    printf '    "linkyears_per_sec": %.0f,\n' "$fleet_lys"
+    printf '    "ns_per_matrix": %d\n' "$fleet_ns"
+    printf '  },\n'
     s1=$(samples "ParHotPath_PktsPerSec/shards-1" "pkts/sec" | best)
     s4=$(samples "ParHotPath_PktsPerSec/shards-4" "pkts/sec" | best)
     awk -v a="$s4" -v b="$s1" 'BEGIN { printf "  \"par_speedup_shards4_vs_shards1\": %.2f\n", a / b }'
