@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 build vet test race bench bench-smoke bench-par-smoke chaos cover fuzz live-smoke fleet-smoke clean
+.PHONY: all tier1 build vet test race bench bench-smoke bench-par-smoke bench-live-smoke chaos cover fuzz live-smoke fleet-smoke clean
 
 all: tier1
 
@@ -93,14 +93,24 @@ chaos:
 	$(GO) run ./cmd/chaos -attrib 10 -attrib-multi 4 -seed 20230823 \
 		-attrib-min $$(grep -v '^\#' scripts/attrib_baseline.txt)
 
-# Live dataplane smoke test: the lglive loopback demo — real UDP sockets,
-# impairment proxy at 1e-3 loss, race detector on — must mask every drop
-# (zero app-visible loss, duplicates or reordering) and shut down cleanly
-# within the deadline. ~10s of offered traffic; rate kept modest because
+# Live dataplane smoke tests, race detector on, strict exit codes: first
+# the single-link lglive loopback demo — real UDP sockets, impairment
+# proxy at 1e-3 loss — then the multi-tenant daemon, eight links sharing
+# one batched mux socket pair with a 1000-flow load generator spread
+# across them. Both must mask every drop (zero app-visible loss,
+# duplicates or reordering on every link) and shut down cleanly within
+# the deadline. ~10s of offered traffic each; rates kept modest because
 # the race detector cuts the loop's event budget roughly 10x.
 live-smoke:
 	$(GO) run -race ./cmd/lglive -mode=demo -count 100000 -pps 10000 \
 		-size 512 -loss 1e-3 -seed 42 -strict
+	$(GO) run -race ./cmd/lglive -mode=multi -links 8 -flows 1000 \
+		-count 60000 -pps 6000 -size 256 -loss 1e-3 -seed 42 -strict
+
+# bench-live-smoke gates the batched mux wire path at zero steady-state
+# allocations (budget in scripts/bench_baseline.txt).
+bench-live-smoke:
+	./scripts/benchsmoke.sh BenchmarkLiveWire_PktsPerSec ./internal/live
 
 clean:
 	$(GO) clean ./...

@@ -3,17 +3,23 @@
 // with an in-path impairment proxy standing in for the testbed's variable
 // optical attenuator.
 //
-// Four roles compose a protected link:
+// Five roles compose protected links:
 //
 //	lglive -mode=demo                 # sender + proxy + receiver in one process
+//	lglive -mode=multi -links=8 -flows=1000  # N links on two shared mux sockets
 //	lglive -mode=receiver -listen A -peer C
 //	lglive -mode=proxy    -listen B -peer A -loss 1e-3
 //	lglive -mode=sender   -listen C -peer B -count 1000000 -pps 100000
 //
 // Data flows sender → proxy → receiver; ACKs, loss notifications and PFC
 // frames return receiver → sender directly (the attenuator corrupts one
-// direction, §4 of the paper). Every role serves Prometheus metrics on
-// -http and shuts down cleanly on SIGINT/SIGTERM.
+// direction, §4 of the paper). Multi mode is the multi-tenant daemon: every
+// sender half shares one batched mux socket, every receiver half another,
+// with a seeded impairment proxy per link and the flow-scale load generator
+// spread across the links; /metrics carries per-link link="N"/role labels.
+// Every role serves Prometheus metrics on -http and shuts down cleanly on
+// SIGINT/SIGTERM — one signal stops every link's loop before any counter is
+// frozen, and -strict folds the per-link audits into the exit code.
 package main
 
 import (
@@ -49,6 +55,10 @@ type options struct {
 	jitter   time.Duration
 	reorder  float64
 
+	links int
+	flows int
+	batch int
+
 	rateGbps float64
 	lgMode   string
 	seed     int64
@@ -58,7 +68,7 @@ type options struct {
 
 func parseFlags() *options {
 	o := &options{}
-	flag.StringVar(&o.mode, "mode", "demo", "role: demo | sender | receiver | proxy")
+	flag.StringVar(&o.mode, "mode", "demo", "role: demo | multi | sender | receiver | proxy")
 	flag.StringVar(&o.listen, "listen", "127.0.0.1:0", "UDP address to bind")
 	flag.StringVar(&o.peer, "peer", "", "UDP address frames are sent to (sender: proxy or receiver; receiver: sender; proxy: forward target)")
 	flag.StringVar(&o.httpAddr, "http", "", "serve Prometheus metrics on this address at /metrics (demo also serves /metrics/sender)")
@@ -71,6 +81,9 @@ func parseFlags() *options {
 	flag.Float64Var(&o.burstLen, "burstlen", 4, "mean burst length in frames for -burst")
 	flag.DurationVar(&o.jitter, "jitter", 0, "uniform forward-path delay span (order-preserving)")
 	flag.Float64Var(&o.reorder, "reorder", 0, "per-datagram adjacent-swap probability at the proxy")
+	flag.IntVar(&o.links, "links", 8, "protected links per shared mux socket (multi mode)")
+	flag.IntVar(&o.flows, "flows", 0, "concurrent app flows across all links (multi mode; 0 means one per link)")
+	flag.IntVar(&o.batch, "batch", 0, "mux syscall batch size (multi mode; 0 means the default)")
 	flag.Float64Var(&o.rateGbps, "rate", 1, "protected link line rate in Gbit/s")
 	flag.StringVar(&o.lgMode, "lg-mode", "ordered", "protocol mode: ordered | nb")
 	flag.Int64Var(&o.seed, "seed", 1, "impairment RNG seed")
@@ -189,6 +202,63 @@ func runDemoMode(o *options) error {
 	return nil
 }
 
+func runMultiMode(o *options) error {
+	mode, err := o.protocolMode()
+	if err != nil {
+		return err
+	}
+	cfg := live.MultiConfig{
+		Seed:     o.seed,
+		Links:    o.links,
+		Flows:    o.flows,
+		Count:    o.count,
+		Size:     o.size,
+		PPS:      o.pps,
+		LossRate: o.loss,
+		Burst:    o.burst,
+		BurstLen: o.burstLen,
+		Jitter:   o.jitter,
+		Reorder:  o.reorder,
+		LinkRate: simtime.Rate(o.rateGbps * float64(simtime.Gbps)),
+		Mode:     mode,
+		Batch:    o.batch,
+		Cancel:   signalChan(),
+		OnStart: func(senders, receivers []*live.Endpoint) {
+			if o.httpAddr == "" {
+				return
+			}
+			mux := http.NewServeMux()
+			mux.Handle("/metrics", obs.PrometheusMultiHandler(func() []obs.LabeledSnapshot {
+				return live.LabeledSnapshots(senders, receivers)
+			}))
+			go func() {
+				if err := http.ListenAndServe(o.httpAddr, mux); err != nil {
+					fmt.Fprintf(os.Stderr, "lglive: metrics server: %v\n", err)
+				}
+			}()
+		},
+	}
+	report, err := live.RunMulti(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(report)
+	for i := range report.Links {
+		lr := &report.Links[i]
+		verdict := "ok"
+		if err := lr.Check(); err != nil {
+			verdict = err.Error()
+		}
+		fmt.Printf("link %d: offered=%d rx=%d lost=%d dup=%d ooo=%d flows=%d p99=%v | proxy dropped=%d | %s\n",
+			lr.Link, lr.Offered, lr.Rx, lr.Lost, lr.Duplicate, lr.OutOfSeq,
+			lr.Flows, lr.P99, lr.ProxyDropped, verdict)
+	}
+	if o.strict {
+		return report.Check()
+	}
+	return nil
+}
+
 func runSenderMode(o *options) error {
 	cfg, err := o.endpointConfig()
 	if err != nil {
@@ -265,7 +335,7 @@ func runReceiverMode(o *options) error {
 func finishEndpoint(ep *live.Endpoint, o *options, audit bool) error {
 	var app live.AppStats
 	var wire live.WireStats
-	ok := ep.Loop.Call(func() { app, wire = ep.App, ep.Wire.Stats })
+	ok := ep.Loop.Call(func() { app, wire = ep.App, ep.WireCounters() })
 	if !ok {
 		return fmt.Errorf("loop stopped before final stats")
 	}
@@ -320,6 +390,8 @@ func main() {
 	switch o.mode {
 	case "demo":
 		err = runDemoMode(o)
+	case "multi":
+		err = runMultiMode(o)
 	case "sender":
 		err = runSenderMode(o)
 	case "receiver":
@@ -327,7 +399,7 @@ func main() {
 	case "proxy":
 		err = runProxyMode(o)
 	default:
-		err = fmt.Errorf("unknown -mode %q (want demo, sender, receiver or proxy)", o.mode)
+		err = fmt.Errorf("unknown -mode %q (want demo, multi, sender, receiver or proxy)", o.mode)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lglive: %v\n", err)

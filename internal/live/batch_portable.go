@@ -1,0 +1,64 @@
+//go:build !linux
+
+// Portable batch backend: on platforms without recvmmsg/sendmmsg the mux
+// degrades to one datagram per syscall through the net package. The
+// framing, the demux and the arena ownership discipline are byte-for-byte
+// identical to the Linux path — only the syscall amortization is lost, so
+// the multi-link harness and its tests run everywhere while the batching
+// speedup is claimed only where Mux.Batched() reports true.
+
+package live
+
+import (
+	"fmt"
+	"net"
+)
+
+// batchedSyscalls reports at build time that this platform moves one
+// datagram per syscall.
+const batchedSyscalls = false
+
+// batchIO has no persistent state on the portable path.
+type batchIO struct{}
+
+func (m *Mux) initBatchIO() {}
+
+// GSO reports false: UDP segmentation offload is a Linux-only path.
+func (m *Mux) GSO() bool { return false }
+
+// sockaddr carries no platform representation; the portable writer uses
+// the wire's net.UDPAddr directly.
+type sockaddr struct{}
+
+func mkSockaddr(a *net.UDPAddr) (sockaddr, error) {
+	if a == nil || a.IP == nil {
+		return sockaddr{}, fmt.Errorf("nil peer address")
+	}
+	return sockaddr{}, nil
+}
+
+// readBatchSys reads a single datagram into the first frame.
+func (m *Mux) readBatchSys(frames []*frame) (int, error) {
+	if len(frames) == 0 {
+		return 0, nil
+	}
+	f := frames[0]
+	n, _, err := m.conn.ReadFromUDP(f.data[:])
+	if err != nil {
+		return 0, err
+	}
+	f.n = n
+	return 1, nil
+}
+
+// writeBatchSys writes the frames one syscall each, reporting how many
+// made it before the first error — the same partial-completion contract
+// as sendmmsg.
+func (m *Mux) writeBatchSys(frames []*frame) (int, error) {
+	for i, f := range frames {
+		if _, err := m.conn.WriteToUDP(f.data[:f.n], f.wire.peer); err != nil {
+			return i, err
+		}
+	}
+	return len(frames), nil
+}

@@ -65,6 +65,12 @@ func (c *DemoConfig) defaults() error {
 	}
 	if c.Settle <= 0 {
 		c.Settle = 500 * time.Millisecond
+		if raceEnabled {
+			// Race-slowed loops recover the last in-flight drops through
+			// ackNoTimeout plus hundreds of ms of scheduling latency; the
+			// plateau detector must outwait that tail (as in MultiConfig).
+			c.Settle = 2 * time.Second
+		}
 	}
 	if c.Timeout <= 0 {
 		offered := time.Duration(float64(c.Count) / c.PPS * float64(time.Second))

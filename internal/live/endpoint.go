@@ -83,27 +83,40 @@ type AppStats struct {
 // LinkGuardian instance protecting (one direction of) its wire, and the
 // UDP transport. Build with NewSender/NewReceiver, then Start the loop.
 type Endpoint struct {
-	Loop *Loop
-	LG   *core.Instance
-	Wire *Wire
-	App  AppStats
-	Reg  *obs.Registry
+	Loop  *Loop
+	LG    *core.Instance
+	Wire  *Wire    // dedicated-socket transport (nil when mux-attached)
+	MWire *MuxWire // shared-socket transport (nil when dedicated)
+	App   AppStats
+	Flow  *FlowAudit // per-flow delivery audit (loadgen receivers only)
+	Reg   *obs.Registry
 
 	cfg  EndpointConfig
 	host *simnet.Host
 	sw   *simnet.Switch
 	wifc *simnet.Ifc
-	conn *net.UDPConn
+	conn *net.UDPConn // owned socket; nil when the transport is a shared mux
 	gen  *generator
+	lgen *loadgen
 }
 
-// newEndpoint builds the topology shared by both roles: app host — switch —
-// wire-facing link against a portal node, with the UDP transport attached
-// to the switch's wire interface.
-func newEndpoint(cfg EndpointConfig, conn *net.UDPConn, peer *net.UDPAddr) *Endpoint {
+// WireCounters returns the endpoint's transport counters regardless of
+// which transport (dedicated Wire or shared MuxWire) carries it. Same
+// read discipline as WireStats: loop goroutine, or after the loop stopped.
+func (ep *Endpoint) WireCounters() WireStats {
+	if ep.MWire != nil {
+		return ep.MWire.Counters()
+	}
+	return ep.Wire.Stats
+}
+
+// newTopology builds the topology shared by both roles and all transports:
+// app host — switch — wire-facing link against a portal node. The caller
+// attaches the transport to ep.wifc.
+func newTopology(cfg EndpointConfig) *Endpoint {
 	cfg.defaults()
 	loop := NewLoop(cfg.Seed)
-	ep := &Endpoint{Loop: loop, Reg: obs.NewRegistry(), cfg: cfg, conn: conn}
+	ep := &Endpoint{Loop: loop, Reg: obs.NewRegistry(), cfg: cfg}
 	ep.host = simnet.NewHost(loop.Sim, cfg.AppHost)
 	ep.host.StackDelay = 0
 	ep.sw = simnet.NewSwitch(loop.Sim, "sw")
@@ -112,8 +125,29 @@ func newEndpoint(cfg EndpointConfig, conn *net.UDPConn, peer *net.UDPAddr) *Endp
 	ep.wifc = wire.A()
 	ep.sw.AddRoute(cfg.DeliverTo, ep.wifc)
 	ep.sw.AddRoute(cfg.AppHost, hostLink.B())
-	ep.Wire = AttachWire(loop, ep.wifc, conn, peer, cfg.AppHost)
 	return ep
+}
+
+// newEndpoint builds the dedicated-socket form: the topology with the UDP
+// transport attached to the switch's wire interface.
+func newEndpoint(cfg EndpointConfig, conn *net.UDPConn, peer *net.UDPAddr) *Endpoint {
+	ep := newTopology(cfg)
+	ep.conn = conn
+	ep.Wire = AttachWire(ep.Loop, ep.wifc, conn, peer, ep.cfg.AppHost)
+	return ep
+}
+
+// newMuxEndpoint builds the shared-socket form: the topology attached to
+// one link id of a Mux. The mux owns the socket; the endpoint's Stop only
+// halts the loop.
+func newMuxEndpoint(cfg EndpointConfig, m *Mux, linkID uint16, peer *net.UDPAddr) (*Endpoint, error) {
+	ep := newTopology(cfg)
+	w, err := m.Attach(linkID, ep.Loop, ep.wifc, peer, ep.cfg.AppHost)
+	if err != nil {
+		return nil, err
+	}
+	ep.MWire = w
+	return ep, nil
 }
 
 // NewSender builds the sending endpoint: app traffic egresses the switch
@@ -133,12 +167,41 @@ func NewSender(cfg EndpointConfig, conn *net.UDPConn, peer *net.UDPAddr) *Endpoi
 // to the local app host, whose sink verifies the delivery sequence.
 func NewReceiver(cfg EndpointConfig, conn *net.UDPConn, peer *net.UDPAddr) *Endpoint {
 	ep := newEndpoint(cfg, conn, peer)
+	ep.finishReceiver()
+	return ep
+}
+
+// NewMuxSender is NewSender over a shared-socket mux: the endpoint's wire
+// traffic rides link id linkID of m, addressed to peer. Attach before
+// m.Start.
+func NewMuxSender(cfg EndpointConfig, m *Mux, linkID uint16, peer *net.UDPAddr) (*Endpoint, error) {
+	ep, err := newMuxEndpoint(cfg, m, linkID, peer)
+	if err != nil {
+		return nil, err
+	}
+	ep.LG = core.ProtectSender(ep.Loop, ep.wifc, *ep.cfg.Protocol)
+	ep.register()
+	return ep, nil
+}
+
+// NewMuxReceiver is NewReceiver over a shared-socket mux.
+func NewMuxReceiver(cfg EndpointConfig, m *Mux, linkID uint16, peer *net.UDPAddr) (*Endpoint, error) {
+	ep, err := newMuxEndpoint(cfg, m, linkID, peer)
+	if err != nil {
+		return nil, err
+	}
+	ep.finishReceiver()
+	return ep, nil
+}
+
+// finishReceiver installs the receiver role on a built topology: the
+// LinkGuardian receiver instance and the app-sequence audit sink.
+func (ep *Endpoint) finishReceiver() {
 	ep.LG = core.ProtectReceiver(ep.Loop, ep.wifc, *ep.cfg.Protocol)
 	ep.App.missing = make(map[uint64]bool)
 	ep.host.Recycle = true
 	ep.host.OnReceive = ep.appSink
 	ep.register()
-	return ep
 }
 
 // register exposes the endpoint's instrumentation in its obs registry.
@@ -152,13 +215,13 @@ func (ep *Endpoint) register() {
 	r.CounterFunc("live.app.lost", func() uint64 { return ep.App.Lost })
 	r.CounterFunc("live.app.out_of_seq", func() uint64 { return ep.App.OutOfSeq })
 	r.CounterFunc("live.app.duplicates", func() uint64 { return ep.App.Duplicate })
-	r.CounterFunc("live.wire.tx_datagrams", func() uint64 { return ep.Wire.Stats.TxDatagrams })
-	r.CounterFunc("live.wire.rx_datagrams", func() uint64 { return ep.Wire.Stats.RxDatagrams })
-	r.CounterFunc("live.wire.tx_errors", func() uint64 { return ep.Wire.Stats.TxErrors })
-	r.CounterFunc("live.wire.send_retries", func() uint64 { return ep.Wire.Stats.SendRetries })
-	r.CounterFunc("live.wire.send_drops", func() uint64 { return ep.Wire.Stats.SendDrops })
-	r.CounterFunc("live.wire.decode_drops", func() uint64 { return ep.Wire.Stats.DecodeDrops })
-	r.CounterFunc("live.wire.encode_drops", func() uint64 { return ep.Wire.Stats.EncodeDrops })
+	r.CounterFunc("live.wire.tx_datagrams", func() uint64 { return ep.WireCounters().TxDatagrams })
+	r.CounterFunc("live.wire.rx_datagrams", func() uint64 { return ep.WireCounters().RxDatagrams })
+	r.CounterFunc("live.wire.tx_errors", func() uint64 { return ep.WireCounters().TxErrors })
+	r.CounterFunc("live.wire.send_retries", func() uint64 { return ep.WireCounters().SendRetries })
+	r.CounterFunc("live.wire.send_drops", func() uint64 { return ep.WireCounters().SendDrops })
+	r.CounterFunc("live.wire.decode_drops", func() uint64 { return ep.WireCounters().DecodeDrops })
+	r.CounterFunc("live.wire.encode_drops", func() uint64 { return ep.WireCounters().EncodeDrops })
 }
 
 // Start enables protection and begins pumping the loop in real time.
@@ -168,9 +231,13 @@ func (ep *Endpoint) Start() {
 }
 
 // Stop halts the loop and closes the socket (which also stops the reader).
+// A mux-attached endpoint has no socket of its own — the shared mux is
+// closed by whoever owns it, after every attached loop has stopped.
 func (ep *Endpoint) Stop() {
 	ep.Loop.Stop()
-	_ = ep.conn.Close()
+	if ep.conn != nil {
+		_ = ep.conn.Close()
+	}
 }
 
 // Snapshot captures the endpoint's registry from off the loop goroutine.

@@ -49,15 +49,23 @@ func TestLoopbackCleanLink(t *testing.T) {
 // visibly drops frames, the sender visibly retransmits, and the app sees
 // nothing.
 func TestLoopbackMasksIIDLoss(t *testing.T) {
-	r := runDemo(t, DemoConfig{Seed: 2, Count: 10000, PPS: 10000, Size: 256, LossRate: 2e-3})
+	count, pps := uint64(10000), 10000.0
+	if testing.Short() || raceEnabled {
+		// Race instrumentation costs ~10x on the socket read path; at the
+		// full rate a one-core runner overflows the receiver's socket and
+		// the run grinds on kernel drops instead of the loss model under
+		// test. Shrink the load, not the loss rate.
+		count, pps = 5000, 4000
+	}
+	r := runDemo(t, DemoConfig{Seed: 2, Count: count, PPS: pps, Size: 256, LossRate: 2e-3})
 	if r.ProxyDropped == 0 {
 		t.Fatal("proxy dropped nothing; loss model not exercised")
 	}
 	if retx := counter(t, r.Sender, "lg.retransmits"); retx == 0 {
 		t.Fatal("sender retransmitted nothing despite forward-path drops")
 	}
-	if prot := counter(t, r.Sender, "lg.protected"); prot < 10000 {
-		t.Fatalf("sender protected %d frames, want >= 10000", prot)
+	if prot := counter(t, r.Sender, "lg.protected"); prot < count {
+		t.Fatalf("sender protected %d frames, want >= %d", prot, count)
 	}
 }
 
@@ -65,8 +73,12 @@ func TestLoopbackMasksIIDLoss(t *testing.T) {
 // swaps (the reordering a real multi-lane path can produce) must still
 // come out exactly-once and in order.
 func TestLoopbackMasksBurstLossAndJitter(t *testing.T) {
+	count, pps := uint64(15000), 10000.0
+	if testing.Short() || raceEnabled {
+		count, pps = 6000, 4000 // see TestLoopbackMasksIIDLoss
+	}
 	r := runDemo(t, DemoConfig{
-		Seed: 3, Count: 15000, PPS: 10000, Size: 256,
+		Seed: 3, Count: count, PPS: pps, Size: 256,
 		LossRate: 2e-3, Burst: true, BurstLen: 3,
 		Jitter:  100 * time.Microsecond,
 		Reorder: 0.01,

@@ -224,3 +224,24 @@ func ProtocolConfig(linkRate simtime.Rate, lossRate float64) core.Config {
 	cfg.CtrlCopies = 2
 	return cfg
 }
+
+// multiProtocolConfig is ProtocolConfig re-based once more for a
+// multi-tenant process. N loops share the core(s) ProtocolConfig assumes
+// one link owns, and under the race detector every event also costs
+// roughly an order of magnitude more. The offered load is the operator's
+// knob, but the background event rate — timer-wheel polls, ACK pacing,
+// dummy probes — scales with link count regardless of traffic, so a
+// race-instrumented many-link daemon drowns at *any* offered rate unless
+// the pure pacing stretches with it. Only pacing stretches here: the
+// correctness timescales (ackNoTimeout, pause refresh/quanta) already
+// tolerate wall-clock hiccups and keep their ordering against the
+// stretched intervals.
+func multiProtocolConfig(linkRate simtime.Rate, lossRate float64) core.Config {
+	cfg := ProtocolConfig(linkRate, lossRate)
+	if raceEnabled {
+		cfg.TimerQuantum = 400 * time.Microsecond
+		cfg.AckInterval = 1 * time.Millisecond
+		cfg.DummyInterval = 2 * time.Millisecond
+	}
+	return cfg
+}

@@ -1,0 +1,647 @@
+package live
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"linkguardian/internal/simnet"
+)
+
+// DefaultBatch is the mux's default syscall batch size: how many datagrams
+// one recvmmsg/sendmmsg call moves. 32 amortizes the ~1–2µs syscall cost
+// to noise without adding meaningful batching latency at the rates a
+// userspace link sustains.
+const DefaultBatch = 32
+
+// sendQueueDepth bounds datagrams waiting for the flush goroutine. A full
+// queue sheds the frame as a wire loss (the protocol's own retransmission
+// recovers it), exactly like a full kernel buffer would.
+const sendQueueDepth = 4096
+
+// wireCacheFrames sizes each wire's loop-local frame stash (see
+// MuxWire.cache).
+const wireCacheFrames = 64
+
+// flushYields is how many times the flush goroutine yields the core to
+// producers before writing an under-full batch (see flushLoop).
+const flushYields = 4
+
+// Mux shares one UDP socket among many protected links: the live
+// dataplane's answer to "one syscall per datagram caps throughput".
+// Outbound, per-link wires enqueue encoded frames and a single flush
+// goroutine writes them in sendmmsg batches, each frame carrying its own
+// destination address. Inbound, a single read goroutine fills recvmmsg
+// batches from the frame arena and demultiplexes each datagram to its
+// link's wire by the 16-bit link-id prefix (simnet.AppendLinkDatagram);
+// the wire's loop goroutine decodes and injects on its own topology, so
+// the per-loop single-threading contract is untouched.
+//
+// On non-Linux builds the batched syscalls degrade to a one-datagram-
+// at-a-time portable path (see batch_portable.go); the framing, the
+// demux and the arena discipline are identical.
+type Mux struct {
+	conn  *net.UDPConn
+	rc    syscall.RawConn
+	batch int
+	arena arena
+
+	wires []*MuxWire // indexed by link id; nil slots are unknown links
+
+	sendq chan *frame
+
+	stage []*MuxWire // groupByLink scratch: wires present in the batch
+
+	// Batch I/O seams: tests substitute these to exercise partial
+	// completions and error paths without a cooperating kernel.
+	readBatch  func([]*frame) (int, error)
+	writeBatch func([]*frame) (int, error)
+
+	bio batchIO // platform-specific persistent syscall state
+
+	rxBatches      atomic.Uint64
+	rxDatagrams    atomic.Uint64
+	unknownLink    atomic.Uint64
+	shortDatagrams atomic.Uint64
+	txBatches      atomic.Uint64
+	txDatagrams    atomic.Uint64
+	partialSends   atomic.Uint64
+
+	started bool
+	stop    sync.Once
+	quit    chan struct{}
+	rdone   chan struct{}
+	wdone   chan struct{}
+}
+
+// MuxStats is a point-in-time copy of the mux's shared-socket counters.
+type MuxStats struct {
+	RxBatches      uint64 // recvmmsg calls that returned ≥1 datagram
+	RxDatagrams    uint64 // datagrams read off the socket
+	UnknownLink    uint64 // datagrams for a link id with no attached wire
+	ShortDatagrams uint64 // datagrams shorter than the link-id prefix
+	TxBatches      uint64 // sendmmsg calls that accepted ≥1 datagram
+	TxDatagrams    uint64 // datagrams written to the socket
+	PartialSends   uint64 // sendmmsg completions with k < n accepted
+	ArenaFrames    uint64 // frame-arena population high-water mark
+}
+
+// NewMux wraps an open UDP socket in a batched multi-link transport.
+// Attach every link's wire, then Start; Close releases the socket and
+// stops the I/O goroutines.
+func NewMux(conn *net.UDPConn, batch int) (*Mux, error) {
+	if batch <= 0 {
+		batch = DefaultBatch
+	}
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		return nil, fmt.Errorf("live: mux raw conn: %w", err)
+	}
+	m := &Mux{
+		conn:  conn,
+		rc:    rc,
+		batch: batch,
+		sendq: make(chan *frame, sendQueueDepth),
+		quit:  make(chan struct{}),
+		rdone: make(chan struct{}),
+		wdone: make(chan struct{}),
+	}
+	m.readBatch = m.readBatchSys
+	m.writeBatch = m.writeBatchSys
+	m.initBatchIO()
+	// Seed the arena so the first batches draw warm frames; steady-state
+	// growth beyond this tracks the in-flight high-water mark.
+	m.arena.prealloc(2 * batch)
+	// Socket buffers sized for batched bursts (see Wire for the rationale).
+	_ = conn.SetReadBuffer(4 << 20)
+	_ = conn.SetWriteBuffer(4 << 20)
+	return m, nil
+}
+
+// Batched reports whether this build moves datagrams with real
+// recvmmsg/sendmmsg batches (Linux) or the portable one-at-a-time path.
+func (m *Mux) Batched() bool { return batchedSyscalls }
+
+// Stats snapshots the mux counters; safe from any goroutine.
+func (m *Mux) Stats() MuxStats {
+	return MuxStats{
+		RxBatches:      m.rxBatches.Load(),
+		RxDatagrams:    m.rxDatagrams.Load(),
+		UnknownLink:    m.unknownLink.Load(),
+		ShortDatagrams: m.shortDatagrams.Load(),
+		TxBatches:      m.txBatches.Load(),
+		TxDatagrams:    m.txDatagrams.Load(),
+		PartialSends:   m.partialSends.Load(),
+		ArenaFrames:    m.arena.frames(),
+	}
+}
+
+// Attach connects one protected link to the shared socket: frames
+// egressing ifc are framed with linkID's prefix and sent to peer;
+// datagrams arriving with that prefix are decoded on loop's goroutine and
+// injected through ifc.Receive, data frames stamped for deliverTo. Must be
+// called before Start.
+func (m *Mux) Attach(linkID uint16, loop *Loop, ifc *simnet.Ifc, peer *net.UDPAddr, deliverTo string) (*MuxWire, error) {
+	if m.started {
+		return nil, fmt.Errorf("live: mux already started")
+	}
+	if int(linkID) < len(m.wires) && m.wires[linkID] != nil {
+		return nil, fmt.Errorf("live: link id %d already attached", linkID)
+	}
+	dst, err := mkSockaddr(peer)
+	if err != nil {
+		return nil, fmt.Errorf("live: link %d peer %v: %w", linkID, peer, err)
+	}
+	w := &MuxWire{
+		mux:       m,
+		loop:      loop,
+		ifc:       ifc,
+		linkID:    linkID,
+		peer:      peer,
+		dst:       dst,
+		deliverTo: deliverTo,
+		frameByID: make(map[uint64]*frame),
+		cache:     make([]*frame, 0, wireCacheFrames),
+	}
+	w.pumpFn = w.pump
+	for int(linkID) >= len(m.wires) {
+		m.wires = append(m.wires, nil)
+	}
+	m.wires[linkID] = w
+	ifc.Link().Carrier = w.carry
+	// Payload bytes of decoded data frames alias the arena frame they
+	// arrived in; the packet's release is the proof the payload is dead,
+	// so that is where the frame goes back to the arena.
+	prev := loop.Sim.OnRelease
+	loop.Sim.OnRelease = func(p *simnet.Packet) {
+		w.reclaim(p)
+		if prev != nil {
+			prev(p)
+		}
+	}
+	return w, nil
+}
+
+// Start launches the shared read and flush goroutines.
+func (m *Mux) Start() {
+	if m.started {
+		return
+	}
+	m.started = true
+	go m.readLoop()
+	go m.flushLoop()
+}
+
+// Close stops the mux: the socket is closed (unblocking the read
+// goroutine), the flush goroutine drains, and every frame still parked in
+// a send queue or a wire inbox returns to the arena. Safe to call more
+// than once. Stop the loops first — Close reclaims inbox frames on the
+// assumption no pump is still running.
+func (m *Mux) Close() {
+	m.stop.Do(func() {
+		close(m.quit)
+		_ = m.conn.Close()
+		if m.started {
+			<-m.rdone
+			<-m.wdone
+		}
+		for _, w := range m.wires {
+			if w == nil {
+				continue
+			}
+			w.inbox.mu.Lock()
+			q := w.inbox.q
+			w.inbox.q = nil
+			w.inbox.mu.Unlock()
+			for _, f := range q {
+				m.arena.put(f)
+			}
+		}
+	})
+}
+
+// readLoop is the shared inbound pump: fill a batch of arena frames with
+// recvmmsg, route each datagram to its wire's inbox by link-id prefix,
+// replace the consumed slots, repeat. It exits when the socket closes.
+func (m *Mux) readLoop() {
+	defer close(m.rdone)
+	frames := make([]*frame, m.batch)
+	for i := range frames {
+		frames[i] = m.arena.get()
+	}
+	defer func() {
+		for _, f := range frames {
+			if f != nil {
+				m.arena.put(f)
+			}
+		}
+	}()
+	for {
+		n, err := m.readBatch(frames)
+		if err != nil {
+			return // socket closed for shutdown (or unrecoverable)
+		}
+		if n == 0 {
+			continue
+		}
+		m.rxBatches.Add(1)
+		m.rxDatagrams.Add(uint64(n))
+		m.dispatchBatch(frames[:n])
+		m.arena.fill(frames[:n])
+	}
+}
+
+// dispatchBatch routes a batch of received frames by link-id prefix,
+// taking ownership of every frame: each lands in a wire inbox or back in
+// the arena. Consecutive frames for the same wire — the common arrival
+// order, since the sender groups its batches by link — are enqueued as one
+// run: one inbox lock and at most one loop wakeup per run instead of per
+// datagram.
+func (m *Mux) dispatchBatch(frames []*frame) {
+	var runWire *MuxWire
+	runStart := 0
+	for i, f := range frames {
+		w := m.resolve(f)
+		if w != runWire {
+			if runWire != nil {
+				runWire.enqueueRx(frames[runStart:i])
+			}
+			runWire, runStart = w, i
+		}
+	}
+	if runWire != nil {
+		runWire.enqueueRx(frames[runStart:])
+	}
+}
+
+// resolve finds the wire a received frame belongs to. Frames with no
+// usable prefix or no attached wire are consumed (counted, returned to the
+// arena) and resolve to nil.
+func (m *Mux) resolve(f *frame) *MuxWire {
+	link, _, err := simnet.SplitLinkDatagram(f.data[:f.n])
+	if err != nil {
+		m.shortDatagrams.Add(1)
+		m.arena.put(f)
+		return nil
+	}
+	if int(link) < len(m.wires) {
+		if w := m.wires[link]; w != nil {
+			return w
+		}
+	}
+	m.unknownLink.Add(1)
+	m.arena.put(f)
+	return nil
+}
+
+// flushLoop is the shared outbound pump: collect queued frames up to the
+// batch size, write them with sendmmsg (retrying partial completions),
+// return the frames to the arena.
+func (m *Mux) flushLoop() {
+	defer close(m.wdone)
+	batch := make([]*frame, 0, m.batch)
+	putAll := func() {
+		m.arena.putAll(batch)
+		batch = batch[:0]
+	}
+	defer putAll()
+	for {
+		select {
+		case f := <-m.sendq:
+			batch = append(batch, f)
+		case <-m.quit:
+			// Drain what the loops already queued; the socket may already
+			// be closed, in which case sendBatch surfaces hard errors.
+			for {
+				select {
+				case f := <-m.sendq:
+					batch = append(batch, f)
+					if len(batch) == m.batch {
+						m.sendBatch(batch)
+						putAll()
+					}
+					continue
+				default:
+				}
+				break
+			}
+			if len(batch) > 0 {
+				m.sendBatch(batch)
+			}
+			return
+		}
+		yields := 0
+	collect:
+		for len(batch) < m.batch {
+			select {
+			case f := <-m.sendq:
+				batch = append(batch, f)
+			default:
+				// The queue outran us. Yield the core a few times before
+				// settling for a short batch: on a saturated single core the
+				// producers only run while we are off it, and a sendmmsg of
+				// one datagram amortizes nothing. The yields cost ~1µs of
+				// extra latency on a lone frame — far below every protocol
+				// timescale — and in steady state the backlog they build
+				// keeps every later batch full with no further yielding.
+				if yields < flushYields {
+					yields++
+					runtime.Gosched()
+					continue
+				}
+				break collect
+			}
+		}
+		m.sendBatch(batch)
+		putAll()
+	}
+}
+
+// groupByLink stable-partitions a batch by wire (bucket sort over the
+// wires actually present, O(n)). Cross-link ordering carries no meaning —
+// the links are independent — while each link's own frames keep their
+// order, and the contiguous runs let writeBatch coalesce same-size frames
+// into single GSO sends. The per-wire stage slices and the touched list
+// are flush-goroutine scratch, warm after the first batches.
+func (m *Mux) groupByLink(batch []*frame) {
+	touched := m.stage[:0]
+	for _, f := range batch {
+		w := f.wire
+		if len(w.txStage) == 0 {
+			touched = append(touched, w)
+		}
+		w.txStage = append(w.txStage, f)
+	}
+	m.stage = touched[:0]
+	if len(touched) < 2 {
+		if len(touched) == 1 {
+			touched[0].txStage = touched[0].txStage[:0]
+		}
+		return // zero or one wire: the batch is already one run
+	}
+	i := 0
+	for _, w := range touched {
+		for j, f := range w.txStage {
+			batch[i] = f
+			i++
+			w.txStage[j] = nil
+		}
+		w.txStage = w.txStage[:0]
+	}
+}
+
+// sendBatch writes one batch, walking past partial completions (the
+// kernel accepting k < n messages is normal backpressure) and retrying
+// transient errors with the same bounded backoff as the single-socket
+// path. Frames that could not be written are counted against their wire
+// as send drops — wire losses the protocol recovers. The caller returns
+// the frames to the arena afterwards.
+func (m *Mux) sendBatch(batch []*frame) {
+	m.groupByLink(batch)
+	sent, attempts := 0, 0
+	for sent < len(batch) {
+		n, err := m.writeBatch(batch[sent:])
+		if n > 0 {
+			for k := sent; k < sent+n; {
+				w := batch[k].wire
+				j := k + 1
+				for j < sent+n && batch[j].wire == w {
+					j++
+				}
+				w.txDatagrams.Add(uint64(j - k))
+				k = j
+			}
+			m.txBatches.Add(1)
+			m.txDatagrams.Add(uint64(n))
+			if sent+n < len(batch) {
+				m.partialSends.Add(1)
+			}
+			sent += n
+			attempts = 0
+			if err == nil {
+				continue
+			}
+		}
+		if err == nil {
+			continue
+		}
+		if !transientSendErr(err) {
+			for _, f := range batch[sent:] {
+				f.wire.txErrors.Add(1)
+			}
+			return
+		}
+		if attempts == maxSendAttempts-1 {
+			for _, f := range batch[sent:] {
+				f.wire.sendDrops.Add(1)
+			}
+			return
+		}
+		for _, f := range batch[sent:] {
+			f.wire.sendRetries.Add(1)
+		}
+		time.Sleep(sendBackoff[attempts])
+		attempts++
+	}
+}
+
+// MuxWire binds one protected link's wire-facing interface to the shared
+// mux socket: the multi-link counterpart of Wire. The loop-goroutine
+// ownership contract is unchanged — decode and injection run on the
+// link's own loop; only the syscalls are shared and batched.
+type MuxWire struct {
+	mux       *Mux
+	loop      *Loop
+	ifc       *simnet.Ifc
+	linkID    uint16
+	peer      *net.UDPAddr
+	dst       sockaddr // platform destination for per-message sendmmsg
+	deliverTo string
+
+	// Loop-owned counters (loop goroutine only).
+	rxDatagrams uint64
+	decodeDrops uint64
+	encodeDrops uint64
+
+	// Flush-goroutine counters (atomics: written off-loop, read anywhere).
+	txDatagrams atomic.Uint64
+	txErrors    atomic.Uint64
+	sendRetries atomic.Uint64
+	sendDrops   atomic.Uint64
+	sendQFull   atomic.Uint64
+
+	txStage []*frame // groupByLink scratch (flush goroutine only)
+
+	// cache is a loop-owned frame stash between this wire and the shared
+	// arena: carry draws from it and the receive path returns to it, so the
+	// steady state touches the arena mutex once per half-cache refill or
+	// spill instead of once per frame.
+	cache []*frame
+
+	// inbox is the handoff from the shared read goroutine to this link's
+	// loop goroutine; pump drains it with a ping-pong buffer pair so the
+	// steady state appends into warm arrays.
+	inbox struct {
+		mu sync.Mutex
+		q  []*frame
+	}
+	spare       []*frame    // pump-owned second buffer
+	wakePending atomic.Bool // a pump is queued on the loop
+
+	pumpFn func() // pump bound once, so waking the loop never allocates
+
+	// frameByID parks the arena frame whose bytes a decoded packet's
+	// payload aliases, keyed by packet id, until Sim.OnRelease proves the
+	// payload dead. Loop goroutine only.
+	frameByID map[uint64]*frame
+}
+
+// LinkID returns the wire's link id on the shared socket.
+func (w *MuxWire) LinkID() uint16 { return w.linkID }
+
+// Counters folds both counter families into the WireStats shape. Call on
+// the loop goroutine (or after the loop has stopped) for an exact read;
+// the tx side is atomically coherent from anywhere.
+func (w *MuxWire) Counters() WireStats {
+	return WireStats{
+		TxDatagrams: w.txDatagrams.Load(),
+		RxDatagrams: w.rxDatagrams,
+		TxErrors:    w.txErrors.Load(),
+		SendRetries: w.sendRetries.Load(),
+		SendDrops:   w.sendDrops.Load() + w.sendQFull.Load(),
+		DecodeDrops: w.decodeDrops,
+		EncodeDrops: w.encodeDrops,
+	}
+}
+
+// SendQueueFull returns how many frames were shed because the mux send
+// queue was full — included in Counters().SendDrops.
+func (w *MuxWire) SendQueueFull() uint64 { return w.sendQFull.Load() }
+
+// carry is the Link.Carrier hook (loop goroutine): encode the frame into
+// an arena buffer with the link-id prefix and hand it to the flush
+// goroutine. A full send queue sheds the frame as a wire loss.
+func (w *MuxWire) carry(pkt *simnet.Packet, from *simnet.Ifc) {
+	defer w.loop.Release(pkt)
+	if from != w.ifc {
+		w.encodeDrops++
+		return
+	}
+	f := w.getFrame()
+	payload, _ := pkt.Payload.([]byte)
+	b, err := simnet.AppendLinkDatagram(f.data[:0], w.linkID, pkt, payload)
+	if err != nil {
+		w.encodeDrops++
+		w.putFrame(f)
+		return
+	}
+	f.n = len(b)
+	f.wire = w
+	select {
+	case w.mux.sendq <- f:
+	default:
+		w.sendQFull.Add(1)
+		w.putFrame(f)
+	}
+}
+
+// enqueueRx parks a run of received frames in the inbox and wakes the
+// loop if no pump is already pending (read goroutine).
+func (w *MuxWire) enqueueRx(fs []*frame) {
+	w.inbox.mu.Lock()
+	w.inbox.q = append(w.inbox.q, fs...)
+	w.inbox.mu.Unlock()
+	if w.wakePending.CompareAndSwap(false, true) {
+		if !w.loop.Do(w.pumpFn) {
+			// Loop stopped: leave the frame parked; Mux.Close reclaims it.
+			w.wakePending.Store(false)
+		}
+	}
+}
+
+// pump drains the inbox on the loop goroutine, swapping in the spare
+// buffer so the read goroutine never waits on decode.
+func (w *MuxWire) pump() {
+	w.wakePending.Store(false)
+	w.inbox.mu.Lock()
+	q := w.inbox.q
+	w.inbox.q = w.spare[:0]
+	w.inbox.mu.Unlock()
+	for i, f := range q {
+		w.deliverFrame(f)
+		q[i] = nil
+	}
+	w.spare = q[:0]
+}
+
+// deliverFrame decodes one datagram and injects the frame into the
+// interface's ingress MAC, the mux counterpart of Wire.deliver. If the
+// decoded packet carries payload bytes, they alias the arena frame, which
+// is parked until the packet's release; otherwise the frame goes straight
+// back to the arena.
+func (w *MuxWire) deliverFrame(f *frame) {
+	pkt := w.loop.NewPacket(simnet.KindData, 0, "")
+	payload, err := simnet.DecodeLGDatagram(f.data[simnet.LinkIDBytes:f.n], pkt)
+	if err != nil {
+		w.decodeDrops++
+		w.loop.Release(pkt)
+		w.putFrame(f)
+		return
+	}
+	if len(payload) > 0 {
+		pkt.Payload = payload
+		w.frameByID[pkt.ID] = f
+	} else {
+		w.putFrame(f)
+	}
+	if pkt.Kind == simnet.KindData {
+		pkt.ToHost = w.deliverTo
+	}
+	w.rxDatagrams++
+	w.ifc.Receive(pkt)
+}
+
+// reclaim is the Sim.OnRelease observer: when the packet whose payload
+// aliases a parked frame dies, the frame returns to the cache.
+func (w *MuxWire) reclaim(p *simnet.Packet) {
+	if len(w.frameByID) == 0 {
+		return
+	}
+	if f, ok := w.frameByID[p.ID]; ok {
+		delete(w.frameByID, p.ID)
+		w.putFrame(f)
+	}
+}
+
+// getFrame draws a frame from the loop-local cache, refilling half of it
+// from the arena when dry (loop goroutine only).
+func (w *MuxWire) getFrame() *frame {
+	n := len(w.cache)
+	if n == 0 {
+		w.cache = w.cache[:wireCacheFrames/2]
+		w.mux.arena.fill(w.cache)
+		n = len(w.cache)
+	}
+	f := w.cache[n-1]
+	w.cache[n-1] = nil
+	w.cache = w.cache[:n-1]
+	return f
+}
+
+// putFrame returns a frame to the loop-local cache, spilling half back to
+// the arena when full (loop goroutine only).
+func (w *MuxWire) putFrame(f *frame) {
+	if len(w.cache) == cap(w.cache) {
+		half := len(w.cache) / 2
+		w.mux.arena.putAll(w.cache[half:])
+		for i := half; i < len(w.cache); i++ {
+			w.cache[i] = nil
+		}
+		w.cache = w.cache[:half]
+	}
+	w.cache = append(w.cache, f)
+}

@@ -1,0 +1,328 @@
+package live
+
+import (
+	"errors"
+	"net"
+	"syscall"
+	"testing"
+	"time"
+
+	"strings"
+
+	"linkguardian/internal/parallel"
+	"linkguardian/internal/simnet"
+)
+
+func newTestMux(t *testing.T, batch int) *Mux {
+	t.Helper()
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMux(conn, batch)
+	if err != nil {
+		_ = conn.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	return m
+}
+
+// attachTestWire hangs a minimal topology off a fresh loop and attaches it
+// to the mux, without a protocol instance — enough to exercise the
+// transport alone.
+func attachTestWire(t *testing.T, m *Mux, link uint16) (*Loop, *MuxWire) {
+	t.Helper()
+	loop := NewLoop(1)
+	sw := simnet.NewSwitch(loop.Sim, "sw")
+	wire := simnet.Connect(loop.Sim, sw, &portal{loop: loop, name: "wire"}, 0, 0)
+	w, err := m.Attach(link, loop, wire.A(), m.conn.LocalAddr().(*net.UDPAddr), "app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loop, w
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// Datagrams carrying an unknown link id or no complete link-id prefix
+// must be counted and shed without disturbing the attached links.
+func TestMuxUnknownLinkAndShortDatagram(t *testing.T) {
+	m := newTestMux(t, 4)
+	loop, w := attachTestWire(t, m, 3)
+	loop.Start()
+	defer loop.Stop()
+	m.Start()
+
+	src, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	dst := m.conn.LocalAddr().(*net.UDPAddr)
+
+	// Unknown link id 9 (no wire there), valid-length prefix.
+	if _, err := src.WriteToUDP([]byte{9, 0, 1, 2, 3}, dst); err != nil {
+		t.Fatal(err)
+	}
+	// Truncated tail: shorter than the link-id prefix itself.
+	if _, err := src.WriteToUDP([]byte{7}, dst); err != nil {
+		t.Fatal(err)
+	}
+	// Known link id but garbage inner datagram: reaches the wire, is
+	// rejected by the codec on the loop goroutine.
+	if _, err := src.WriteToUDP([]byte{3, 0, 0xff, 0xfe}, dst); err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, "unknown-link count", func() bool { return m.Stats().UnknownLink == 1 })
+	waitFor(t, "short-datagram count", func() bool { return m.Stats().ShortDatagrams == 1 })
+	waitFor(t, "decode drop", func() bool {
+		var drops uint64
+		if !loop.Call(func() { drops = w.decodeDrops }) {
+			return false
+		}
+		return drops == 1
+	})
+	if got := m.Stats().RxDatagrams; got != 3 {
+		t.Fatalf("RxDatagrams = %d, want 3", got)
+	}
+}
+
+func TestMuxAttachErrors(t *testing.T) {
+	m := newTestMux(t, 4)
+	attachTestWire(t, m, 0)
+	loop := NewLoop(2)
+	sw := simnet.NewSwitch(loop.Sim, "sw2")
+	wire := simnet.Connect(loop.Sim, sw, &portal{loop: loop, name: "wire"}, 0, 0)
+	peer := m.conn.LocalAddr().(*net.UDPAddr)
+	if _, err := m.Attach(0, loop, wire.A(), peer, "app"); err == nil {
+		t.Fatal("duplicate link id attach succeeded")
+	}
+	m.Start()
+	if _, err := m.Attach(1, loop, wire.A(), peer, "app"); err == nil {
+		t.Fatal("attach after Start succeeded")
+	}
+}
+
+// testFrames builds n owned frames carrying distinguishable payloads.
+func testFrames(m *Mux, w *MuxWire, n int) []*frame {
+	frames := make([]*frame, n)
+	for i := range frames {
+		f := m.arena.get()
+		f.data[0] = byte(i)
+		f.n = 4
+		f.wire = w
+		frames[i] = f
+	}
+	return frames
+}
+
+// A sendmmsg completion of k < n messages is normal backpressure: the
+// batch must continue from where the kernel stopped, every frame exactly
+// once, with the partial completion counted.
+func TestMuxSendBatchPartialCompletion(t *testing.T) {
+	m := newTestMux(t, 8)
+	w := &MuxWire{mux: m}
+	var calls [][]int
+	m.writeBatch = func(frames []*frame) (int, error) {
+		sizes := make([]int, len(frames))
+		for i, f := range frames {
+			sizes[i] = int(f.data[0])
+		}
+		calls = append(calls, sizes)
+		if len(calls) == 1 {
+			return 3, nil // kernel accepted 3 of 8
+		}
+		return len(frames), nil
+	}
+	batch := testFrames(m, w, 8)
+	m.sendBatch(batch)
+	if got := w.txDatagrams.Load(); got != 8 {
+		t.Fatalf("txDatagrams = %d, want 8", got)
+	}
+	if got := m.Stats().PartialSends; got != 1 {
+		t.Fatalf("PartialSends = %d, want 1", got)
+	}
+	if len(calls) != 2 {
+		t.Fatalf("writeBatch called %d times, want 2", len(calls))
+	}
+	if calls[1][0] != 3 || len(calls[1]) != 5 {
+		t.Fatalf("second call resumed at %v, want frames 3..7", calls[1])
+	}
+}
+
+// A transient error retries with backoff; exhausting the retries counts
+// the rest of the batch as send drops, exactly like the single-socket
+// wire's policy.
+func TestMuxSendBatchTransientRetry(t *testing.T) {
+	m := newTestMux(t, 8)
+	w := &MuxWire{mux: m}
+	fails := 0
+	m.writeBatch = func(frames []*frame) (int, error) {
+		if fails < 1 {
+			fails++
+			return 0, syscall.ENOBUFS
+		}
+		return len(frames), nil
+	}
+	m.sendBatch(testFrames(m, w, 4))
+	if got := w.txDatagrams.Load(); got != 4 {
+		t.Fatalf("txDatagrams = %d, want 4", got)
+	}
+	if got := w.sendRetries.Load(); got != 4 {
+		t.Fatalf("sendRetries = %d, want 4 (one per queued frame)", got)
+	}
+
+	// Persistent ENOBUFS: retries exhaust, frames surrender as drops.
+	m.writeBatch = func(frames []*frame) (int, error) { return 0, syscall.ENOBUFS }
+	m.sendBatch(testFrames(m, w, 2))
+	if got := w.sendDrops.Load(); got != 2 {
+		t.Fatalf("sendDrops = %d, want 2", got)
+	}
+
+	// Hard error: no retry, counted as tx errors.
+	m.writeBatch = func(frames []*frame) (int, error) { return 0, errors.New("efault") }
+	m.sendBatch(testFrames(m, w, 3))
+	if got := w.txErrors.Load(); got != 3 {
+		t.Fatalf("txErrors = %d, want 3", got)
+	}
+}
+
+// The full multi-link stack under loss: N protected links on two shared
+// mux sockets, per-link seeded proxies, the flow-scale load generator —
+// and zero app-visible loss, duplication or reordering on every link.
+// Run under -race by the race CI job, this is also the multi-link
+// concurrency test for the mux's three-goroutine handoffs.
+func TestMultiLinkLoopback(t *testing.T) {
+	links, flows, count, pps := 4, 32, uint64(4000), 20000.0
+	if testing.Short() || raceEnabled {
+		// Race instrumentation costs ~10× on these tight loops; a 1-CPU
+		// runner can't sustain the full rate across 8 loops plus the mux
+		// and proxy goroutines, so shrink the load, not the link count.
+		links, flows, count, pps = 3, 12, 1200, 6000
+	}
+	rep, err := RunMulti(MultiConfig{
+		Seed:     7,
+		Links:    links,
+		Flows:    flows,
+		Count:    count,
+		Size:     512,
+		PPS:      pps,
+		LossRate: 1e-3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Check(); err != nil {
+		t.Fatalf("%v\n%s", err, rep)
+	}
+	if rep.Delivered != count {
+		t.Fatalf("delivered %d, want %d", rep.Delivered, count)
+	}
+	var fwd uint64
+	for i := range rep.Links {
+		if rep.Links[i].Flows == 0 {
+			t.Fatalf("link %d saw no flows", i)
+		}
+		fwd += rep.Links[i].ProxyForwarded
+	}
+	if fwd == 0 {
+		t.Fatal("proxies forwarded nothing: traffic did not take the proxied path")
+	}
+	s, r := rep.SenderMux, rep.ReceiverMux
+	if s.RxDatagrams == 0 || s.TxDatagrams == 0 || r.RxDatagrams == 0 || r.TxDatagrams == 0 {
+		t.Fatalf("mux datagram counters empty: sender=%+v receiver=%+v", s, r)
+	}
+	if s.UnknownLink != 0 || r.UnknownLink != 0 || s.ShortDatagrams != 0 || r.ShortDatagrams != 0 {
+		t.Fatalf("demux errors on a clean run: sender=%+v receiver=%+v", s, r)
+	}
+	if rep.Batched {
+		if s.RxBatches == 0 || r.RxBatches == 0 {
+			t.Fatalf("batched platform but no rx batches: sender=%+v receiver=%+v", s, r)
+		}
+	}
+	if rep.P999 <= 0 {
+		t.Fatalf("latency quantiles not measured: %s", rep)
+	}
+}
+
+// proxyDropPattern pushes count numbered datagrams through a fresh proxy
+// seeded for one link shard and returns which indices survived — the
+// link's fault pattern. Loopback UDP delivers in order, Jitter and
+// Reorder are off, and the proxy consumes one RNG decision per arriving
+// datagram, so the pattern is a pure function of the seed.
+func proxyDropPattern(t *testing.T, master int64, link, count int) string {
+	t.Helper()
+	sink, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	imp := ProxyImpair{Model: simnet.IIDLoss{P: 0.05}}
+	p, err := NewProxy("127.0.0.1:0", sink.LocalAddr().String(), imp, parallel.SeedFor(master, link))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	src, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	for i := 0; i < count; i++ {
+		var b [2]byte
+		b[0], b[1] = byte(i), byte(i>>8)
+		if _, err := src.WriteToUDP(b[:], p.Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := make([]bool, count)
+	buf := make([]byte, 16)
+	for {
+		_ = sink.SetReadDeadline(time.Now().Add(400 * time.Millisecond))
+		n, _, err := sink.ReadFromUDP(buf)
+		if err != nil {
+			break // idle: everything the proxy will forward has arrived
+		}
+		if n == 2 {
+			got[int(buf[0])|int(buf[1])<<8] = true
+		}
+	}
+	pat := make([]byte, count)
+	for i, ok := range got {
+		pat[i] = '0'
+		if ok {
+			pat[i] = '1'
+		}
+	}
+	return string(pat)
+}
+
+// Per-link fault seeding: the same (seed, link) pair must reproduce the
+// same drop pattern, and different links of one run must draw
+// decorrelated patterns — the reproducibility contract behind
+// MultiConfig.Seed and parallel.SeedFor.
+func TestProxyPerLinkSeedingReproducible(t *testing.T) {
+	const n = 800
+	link0 := proxyDropPattern(t, 21, 0, n)
+	if again := proxyDropPattern(t, 21, 0, n); again != link0 {
+		t.Fatalf("same (seed, link) produced different fault patterns:\n%s\n%s", link0, again)
+	}
+	link1 := proxyDropPattern(t, 21, 1, n)
+	if link1 == link0 {
+		t.Fatal("links 0 and 1 drew identical fault patterns: per-link seeds not applied")
+	}
+	if !strings.Contains(link0, "0") || !strings.Contains(link1, "0") {
+		t.Fatalf("no drops at 5%% over %d datagrams: pattern suspect", n)
+	}
+}

@@ -1,0 +1,10 @@
+//go:build linux && amd64
+
+package live
+
+// The stdlib syscall number table for this arch was frozen before
+// sendmmsg (kernel 3.0) landed, so the numbers are spelled out here.
+const (
+	sysRecvmmsg uintptr = 299
+	sysSendmmsg uintptr = 307
+)

@@ -1,0 +1,207 @@
+package live
+
+import (
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"linkguardian/internal/simnet"
+)
+
+// BenchmarkLiveWire_PktsPerSec measures the raw live wire path — encode,
+// socket, decode, ingress injection — without the protocol state machines,
+// so the number isolates what the transport itself can move:
+//
+//   - single-link-unbatched: the dedicated-socket Wire, one sendto and one
+//     recvfrom syscall (plus a buffer copy and a decode thunk) per datagram.
+//   - batched-8: eight links multiplexed over one socket pair, moving
+//     DefaultBatch datagrams per sendmmsg/recvmmsg call through the frame
+//     arena. The steady state of this path is allocation-free, which
+//     scripts/benchsmoke.sh gates at -benchtime 1x (see
+//     scripts/bench_baseline.txt).
+//
+// Both subbenchmarks drive the sender's Carrier hook directly from the
+// bench goroutine (the sender loops are never started, so the loop-owned
+// state has a single toucher) and count deliveries in the receiver's
+// OnIngress hook, after the full decode path. A send window keeps the
+// in-flight count far below every queue bound, so no frame is shed and
+// delivery is deterministic; the drain tolerates a shortfall anyway
+// (reporting it) rather than hanging the benchmark on a lost datagram.
+func BenchmarkLiveWire_PktsPerSec(b *testing.B) {
+	b.Run("single-link-unbatched", func(b *testing.B) { benchUnbatchedWires(b, 1) })
+	b.Run("unbatched-8", func(b *testing.B) { benchUnbatchedWires(b, 8) })
+	b.Run("batched-8", func(b *testing.B) { benchBatchedMuxWire(b, 8) })
+}
+
+// benchWindow bounds sender-ahead-of-receiver. It must stay well under
+// sendQueueDepth (no mux shed) and under the kernel socket buffers at
+// benchmark datagram sizes (no kernel drop).
+const benchWindow = 1024
+
+// benchUDPPair opens the two loopback sockets of a benchmark wire.
+func benchUDPPair(b *testing.B) (sconn, rconn *net.UDPConn, saddr, raddr *net.UDPAddr) {
+	b.Helper()
+	lo := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 0}
+	sconn, err := net.ListenUDP("udp", lo)
+	if err != nil {
+		b.Fatalf("listen: %v", err)
+	}
+	rconn, err = net.ListenUDP("udp", lo)
+	if err != nil {
+		b.Fatalf("listen: %v", err)
+	}
+	return sconn, rconn, sconn.LocalAddr().(*net.UDPAddr), rconn.LocalAddr().(*net.UDPAddr)
+}
+
+// benchCountIngress counts every packet surviving decode at the receiver's
+// wire interface, consuming it before node processing — the benchmark's
+// measurement point.
+func benchCountIngress(ep *Endpoint, rx *atomic.Uint64) {
+	ep.wifc.OnIngress = func(p *simnet.Packet) bool {
+		ep.Loop.Release(p)
+		rx.Add(1)
+		return true
+	}
+}
+
+// benchDrain waits for rx to reach target, bailing out (and reporting how
+// far it got) if delivery plateaus — a benchmark must not hang on a freak
+// loopback drop.
+func benchDrain(b *testing.B, rx *atomic.Uint64, target uint64) uint64 {
+	b.Helper()
+	last, lastRise := rx.Load(), time.Now()
+	for {
+		cur := rx.Load()
+		if cur >= target {
+			return cur
+		}
+		if cur != last {
+			last, lastRise = cur, time.Now()
+		} else if time.Since(lastRise) > time.Second {
+			b.Logf("drain plateaued at %d of %d delivered", cur, target)
+			return cur
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// benchUnbatchedWires measures the dedicated-socket Wire path across
+// `links` independent links — one sendto and one recvfrom syscall per
+// datagram, the pre-mux shape of a multi-tenant daemon.
+func benchUnbatchedWires(b *testing.B, links int) {
+	var rx atomic.Uint64
+	senders := make([]*Endpoint, links)
+	receivers := make([]*Endpoint, links)
+	conns := make([]*net.UDPConn, 0, 2*links)
+	for i := 0; i < links; i++ {
+		sconn, rconn, saddr, raddr := benchUDPPair(b)
+		conns = append(conns, sconn, rconn)
+		rep := newEndpoint(EndpointConfig{Seed: int64(100 + i)}, rconn, saddr)
+		benchCountIngress(rep, &rx)
+		rep.Loop.Start()
+		senders[i] = newEndpoint(EndpointConfig{Seed: int64(10 + i)}, sconn, raddr)
+		receivers[i] = rep
+	}
+	defer func() {
+		for _, c := range conns {
+			_ = c.Close()
+		}
+		for _, rep := range receivers {
+			rep.Loop.Stop() // sender loops never started; Stop would block
+		}
+	}()
+
+	var tx uint64
+	send := func(n int) {
+		for i := 0; i < n; i++ {
+			for tx-rx.Load() >= benchWindow {
+				time.Sleep(20 * time.Microsecond)
+			}
+			sep := senders[int(tx)%links]
+			pkt := sep.Loop.NewPacket(simnet.KindData, 0, "")
+			sep.Wire.carry(pkt, sep.Wire.ifc)
+			tx++
+		}
+	}
+
+	send(2048) // warm the pools, the window loop's timer, the socket path
+	warm := benchDrain(b, &rx, tx)
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	send(b.N)
+	got := benchDrain(b, &rx, tx) - warm
+	elapsed := time.Since(start)
+	b.StopTimer()
+	b.ReportMetric(float64(got)/elapsed.Seconds(), "pkts/sec")
+}
+
+func benchBatchedMuxWire(b *testing.B, links int) {
+	sconn, rconn, saddr, raddr := benchUDPPair(b)
+	smux, err := NewMux(sconn, 4*DefaultBatch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rmux, err := NewMux(rconn, 4*DefaultBatch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rx atomic.Uint64
+	senders := make([]*Endpoint, links)
+	receivers := make([]*Endpoint, links)
+	for i := 0; i < links; i++ {
+		sep, err := newMuxEndpoint(EndpointConfig{Seed: int64(10 + i)}, smux, uint16(i), raddr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := newMuxEndpoint(EndpointConfig{Seed: int64(100 + i)}, rmux, uint16(i), saddr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchCountIngress(rep, &rx)
+		rep.Loop.Start()
+		senders[i], receivers[i] = sep, rep
+	}
+	smux.Start()
+	rmux.Start()
+	defer func() {
+		for _, rep := range receivers {
+			rep.Loop.Stop() // sender loops never started; see Mux.Close contract
+		}
+		smux.Close()
+		rmux.Close()
+	}()
+
+	var tx uint64
+	send := func(n int) {
+		for i := 0; i < n; i++ {
+			for tx-rx.Load() >= benchWindow {
+				time.Sleep(20 * time.Microsecond)
+			}
+			sep := senders[int(tx)%links]
+			pkt := sep.Loop.NewPacket(simnet.KindData, 0, "")
+			sep.MWire.carry(pkt, sep.MWire.ifc)
+			tx++
+		}
+	}
+
+	// The warmup must cycle every link: each receiver loop has its own
+	// packet pool, every wire its own inbox buffers, and the arena grows to
+	// the in-flight high-water mark here — after this, a steady-state
+	// datagram allocates nothing anywhere in the pipeline.
+	send(4096)
+	warm := benchDrain(b, &rx, tx)
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	send(b.N)
+	got := benchDrain(b, &rx, tx) - warm
+	elapsed := time.Since(start)
+	b.StopTimer()
+	b.ReportMetric(float64(got)/elapsed.Seconds(), "pkts/sec")
+	ss, rs := smux.Stats(), rmux.Stats()
+	b.Logf("batched=%v tx %d datagrams / %d sendmmsg (%.1f per call), rx %d / %d recvmmsg (%.1f per call)",
+		smux.Batched(), ss.TxDatagrams, ss.TxBatches, float64(ss.TxDatagrams)/float64(max(ss.TxBatches, 1)),
+		rs.RxDatagrams, rs.RxBatches, float64(rs.RxDatagrams)/float64(max(rs.RxBatches, 1)))
+}

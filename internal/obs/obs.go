@@ -126,6 +126,11 @@ func (h *Histogram) N() uint64 { return h.n }
 // Sum returns the sum of all observations.
 func (h *Histogram) Sum() float64 { return h.sum }
 
+// Counts returns the bucket counts (len(bounds)+1 entries; the last is
+// the +Inf overflow bucket). The slice aliases live storage — copy to
+// retain across further observations.
+func (h *Histogram) Counts() []uint64 { return h.counts }
+
 // Registry is a named collection of metrics. Create with NewRegistry; a
 // name identifies exactly one metric of one type.
 type Registry struct {

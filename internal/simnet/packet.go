@@ -218,6 +218,9 @@ func (s *Sim) Release(p *Packet) {
 	if p.pooled {
 		panic(fmt.Sprintf("simnet: double release of packet %d (kind %v)", p.ID, p.Kind))
 	}
+	if s.OnRelease != nil {
+		s.OnRelease(p)
+	}
 	*p = Packet{gen: p.gen + 1, pooled: true, next: s.pktFree}
 	s.pktFree = p
 }

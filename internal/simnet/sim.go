@@ -39,6 +39,13 @@ type Sim struct {
 	Q   eventq.Queue
 	Rng *rand.Rand
 
+	// OnRelease, if set, observes every packet handed back to the free
+	// list, before its fields are wiped. The live transport uses it to
+	// reclaim the wire frame buffer a packet's payload still aliases —
+	// releasing the packet is the moment that payload provably dies. The
+	// hook must not retain the packet or release further packets.
+	OnRelease func(*Packet)
+
 	nextPktID uint64
 	pktFree   *Packet // packet free list; see Sim.Release
 }

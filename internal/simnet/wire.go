@@ -390,3 +390,43 @@ func DecodeLGDatagram(b []byte, p *Packet) ([]byte, error) {
 	}
 	return payload, nil
 }
+
+// Link-id multiplexed framing: the shared-socket transport of the live
+// dataplane (live.Mux) carries many protected links over one UDP socket,
+// so each datagram is prefixed with the 16-bit id of the link it belongs
+// to. The prefix is deliberately outside the LG datagram proper — the
+// receiving mux routes on it without touching the inner codec, and an
+// impairment proxy picks its per-link fault stream from it without
+// parsing (or trusting) anything else.
+//
+//	bytes 0–1  link id, uint16 LE
+//	bytes 2…   one LG datagram in the AppendLGDatagram layout
+const LinkIDBytes = 2
+
+// MaxLinkDatagramBytes is the largest buffer AppendLinkDatagram can
+// produce: the link-id prefix plus a maximal LG datagram.
+const MaxLinkDatagramBytes = LinkIDBytes + MaxLGDatagramBytes
+
+// ErrDatagramLinkID reports a datagram too short to carry the link-id
+// prefix of the multiplexed framing.
+var ErrDatagramLinkID = errors.New("simnet: datagram shorter than link-id prefix")
+
+// AppendLinkDatagram encodes the link-id prefix followed by one LG
+// datagram onto dst and returns the extended slice. Decoding splits the
+// prefix with SplitLinkDatagram, then parses the remainder with
+// DecodeLGDatagram; the composition round-trips byte-identically.
+func AppendLinkDatagram(dst []byte, link uint16, p *Packet, payload []byte) ([]byte, error) {
+	dst = append(dst, byte(link), byte(link>>8))
+	return AppendLGDatagram(dst, p, payload)
+}
+
+// SplitLinkDatagram peels the link-id prefix off a multiplexed datagram,
+// returning the link id and the inner LG datagram (a subslice of b). A
+// buffer shorter than the prefix is rejected; validating the remainder is
+// the inner decoder's job.
+func SplitLinkDatagram(b []byte) (uint16, []byte, error) {
+	if len(b) < LinkIDBytes {
+		return 0, nil, fmt.Errorf("%w: %d bytes", ErrDatagramLinkID, len(b))
+	}
+	return uint16(b[0]) | uint16(b[1])<<8, b[LinkIDBytes:], nil
+}

@@ -264,3 +264,59 @@ func FuzzLGDatagram(f *testing.F) {
 		}
 	})
 }
+
+// The multiplexed framing is a pure prefix: splitting recovers the link id
+// and the untouched inner datagram for every sample frame, and a buffer
+// too short for the prefix is rejected.
+func TestLinkDatagramRoundTrip(t *testing.T) {
+	for _, tc := range sampleFrames() {
+		inner := mustAppend(t, &tc.pkt, tc.payload)
+		for _, link := range []uint16{0, 1, 7, 255, 0xbeef, 0xffff} {
+			b, err := AppendLinkDatagram(nil, link, &tc.pkt, tc.payload)
+			if err != nil {
+				t.Fatalf("%s: AppendLinkDatagram: %v", tc.name, err)
+			}
+			gotLink, rest, err := SplitLinkDatagram(b)
+			if err != nil {
+				t.Fatalf("%s: SplitLinkDatagram: %v", tc.name, err)
+			}
+			if gotLink != link {
+				t.Fatalf("%s: link id %d, want %d", tc.name, gotLink, link)
+			}
+			if !bytes.Equal(rest, inner) {
+				t.Fatalf("%s: inner datagram differs after prefix split", tc.name)
+			}
+		}
+	}
+	for _, short := range [][]byte{nil, {}, {0x01}} {
+		if _, _, err := SplitLinkDatagram(short); !errors.Is(err, ErrDatagramLinkID) {
+			t.Fatalf("SplitLinkDatagram(%v) = %v, want ErrDatagramLinkID", short, err)
+		}
+	}
+}
+
+// OnRelease observes each packet exactly once, before the wipe, and the
+// hook sees the fields the dataplane released the packet with.
+func TestSimOnReleaseHook(t *testing.T) {
+	s := NewSim(1)
+	var seen []uint64
+	s.OnRelease = func(p *Packet) {
+		if p.Released() {
+			t.Fatal("OnRelease ran after the wipe")
+		}
+		seen = append(seen, p.ID)
+	}
+	a := s.NewPacket(KindData, 100, "h")
+	b := s.NewPacket(KindLGAck, 64, "")
+	aID, bID := a.ID, b.ID
+	s.Release(a)
+	s.Release(b)
+	if len(seen) != 2 || seen[0] != aID || seen[1] != bID {
+		t.Fatalf("OnRelease saw %v, want [%d %d]", seen, aID, bID)
+	}
+	s.OnRelease = nil
+	s.Release(s.NewPacket(KindData, 1, "h")) // no hook: must not panic
+	if len(seen) != 2 {
+		t.Fatalf("hook ran while unset: %v", seen)
+	}
+}

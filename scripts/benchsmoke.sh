@@ -4,9 +4,10 @@
 # Throughput is machine-dependent and is NOT gated here; the allocation
 # count is deterministic and must never regress.
 #
-# Usage: benchsmoke.sh [bench-regex]
+# Usage: benchsmoke.sh [bench-regex] [package-dir]
 #   benchsmoke.sh                              # sequential hot path
 #   benchsmoke.sh BenchmarkParHotPath_PktsPerSec   # parallel hot path
+#   benchsmoke.sh BenchmarkLiveWire_PktsPerSec ./internal/live   # live mux
 #
 # Budget lines in bench_baseline.txt use the full benchmark path
 # (Benchmark.../subbench); only lines matching the chosen bench run.
@@ -14,8 +15,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH="${1:-BenchmarkHotPath_PktsPerSec}"
+PKG="${2:-.}"
 
-raw="$(go test -run '^$' -bench "^${BENCH}\$" -benchtime 1x -count 1 .)"
+raw="$(go test -run '^$' -bench "^${BENCH}\$" -benchtime 1x -count 1 "$PKG")"
 echo "$raw"
 
 fail=0
