@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 build vet test race bench bench-smoke bench-par-smoke bench-live-smoke chaos cover fuzz live-smoke fleet-smoke clean
+.PHONY: all tier1 build vet test race bench bench-smoke bench-par-smoke bench-live-smoke chaos cover fuzz live-smoke fleet-smoke results-smoke clean
 
 all: tier1
 
@@ -30,6 +30,7 @@ race:
 	$(GO) test -race -run 'TestEngine' ./internal/simnet
 	$(GO) test -race -run 'TestFleetWorkerInvariance' ./internal/fleetsim
 	$(GO) test -race -count=1 ./internal/live
+	$(GO) test -race -count=1 ./internal/results
 
 # Full hot-path benchmarks (sequential + sharded-parallel engines) plus
 # the fleet-simulation matrix; time-based samples, best-of-3 with recorded
@@ -111,6 +112,12 @@ live-smoke:
 # allocations (budget in scripts/bench_baseline.txt).
 bench-live-smoke:
 	./scripts/benchsmoke.sh BenchmarkLiveWire_PktsPerSec ./internal/live
+
+# Experiment-results service gate: ingest -> query -> diff round trip
+# through the real CLI on the file backend plus the unit goldens on the
+# in-memory backend, byte-checked against internal/results/testdata/.
+results-smoke:
+	./scripts/results_smoke.sh
 
 clean:
 	$(GO) clean ./...

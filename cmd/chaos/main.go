@@ -38,6 +38,7 @@ import (
 	"linkguardian/internal/chaos"
 	"linkguardian/internal/obs"
 	"linkguardian/internal/parallel"
+	"linkguardian/internal/results"
 )
 
 func main() {
@@ -54,6 +55,7 @@ func main() {
 	fabric := flag.Int("fabric", 0, "run -scenario on an N-segment fabric (sharded engine)")
 	shards := flag.Int("shards", 1, "fabric: concurrent shard executions (never changes results)")
 	artifacts := flag.String("artifacts", "", "flight-recorder directory for failing scenarios")
+	resultsDir := flag.String("results-dir", "", "results store directory: run reports ingest as content-hashed runs and failing-scenario flight-recorder dumps register as content-addressed blobs keyed by scenario-index-seed (replaces -artifacts directory dumps)")
 	tracePath := flag.String("trace", "", "single run: write the protected link's trace (.jsonl = JSONL, else Chrome trace_event)")
 	traceCap := flag.Int("trace-cap", 0, "trace ring capacity (0 = default 2048)")
 	metricsOut := flag.String("metrics-out", "", "single run: write the final metrics snapshot as JSON")
@@ -71,6 +73,27 @@ func main() {
 		Index:       -1,
 		KeepTrace:   *tracePath != "",
 	}
+	var store *results.Store
+	if *resultsDir != "" {
+		store, err = results.Open(*resultsDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Sink = store
+	}
+	// exit drains the results batcher before terminating — os.Exit skips
+	// deferred calls, so every path below must leave through here.
+	exit := func(code int) {
+		if store != nil {
+			if err := store.Close(); err != nil {
+				log.Print(err)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}
+		os.Exit(code)
+	}
 
 	switch {
 	case *list:
@@ -84,18 +107,17 @@ func main() {
 			log.Fatalf("unknown scenario %q (try -list)", *scenario)
 		}
 		if *fabric > 1 {
-			runFabric(sc, *fabric, *shards, *metricsOut, stopProf)
-			return
+			exit(runFabric(sc, *fabric, *shards, *metricsOut, stopProf))
 		}
-		run(sc, opts, *tracePath, *metricsOut, stopProf)
+		exit(run(sc, opts, *tracePath, *metricsOut, store, stopProf))
 
 	case *gen >= 0:
 		opts.Index = *gen
-		run(chaos.GenScenario(*seed, *gen), opts, *tracePath, *metricsOut, stopProf)
+		exit(run(chaos.GenScenario(*seed, *gen), opts, *tracePath, *metricsOut, store, stopProf))
 
 	case *soak > 0:
 		parallel.SetWorkers(*workers)
-		res := chaos.SoakArtifacts(*seed, *soak, *artifacts)
+		res := chaos.SoakWith(*seed, *soak, opts)
 		finishProfiles(stopProf)
 		fmt.Print(res)
 		for _, r := range res.Failures() {
@@ -103,14 +125,15 @@ func main() {
 				fmt.Printf("artifact: %s\n", r.Artifact)
 			}
 		}
+		ingestReports(store, "soak", res.Reports)
 		if len(res.Failures()) > 0 {
 			fmt.Printf("reproduce a failure with: chaos -gen <i> -seed %d\n", *seed)
-			os.Exit(1)
+			exit(1)
 		}
 
 	case *families > 0:
 		parallel.SetWorkers(*workers)
-		res := chaos.FamilySoakArtifacts(*seed, *families, *artifacts)
+		res := chaos.FamilySoakWith(*seed, *families, opts)
 		finishProfiles(stopProf)
 		fmt.Print(res)
 		for _, r := range res.Failures() {
@@ -118,8 +141,15 @@ func main() {
 				fmt.Printf("artifact: %s\n", r.Artifact)
 			}
 		}
+		if store != nil {
+			var all []*chaos.Report
+			for _, fam := range res.Families {
+				all = append(all, fam.Reports...)
+			}
+			ingestReports(store, "families", all)
+		}
 		if len(res.Failures()) > 0 {
-			os.Exit(1)
+			exit(1)
 		}
 
 	case *attrib > 0 || *attribMulti > 0:
@@ -129,16 +159,61 @@ func main() {
 		fmt.Print(res)
 		if rate := res.Top1Rate(); *attrib > 0 && rate < *attribMin {
 			fmt.Printf("FAIL: single-culprit top-1 accuracy %.3f < %.3f\n", rate, *attribMin)
-			os.Exit(1)
+			exit(1)
 		}
 
 	default:
 		flag.Usage()
-		os.Exit(2)
+		exit(2)
 	}
+	exit(0)
 }
 
-func run(sc chaos.Scenario, opts chaos.RunOpts, tracePath, metricsOut string, stopProf func() error) {
+// reportRun converts one scenario report into a results run: the full
+// metrics snapshot plus the report's headline counters, content-hashed so
+// reruns of the same scenario and seed deduplicate.
+func reportRun(r *chaos.Report, index int) *results.Run {
+	name := r.Scenario
+	if index >= 0 {
+		name = fmt.Sprintf("%s-%04d", name, index)
+	}
+	run := results.FromSnapshot("chaos", name, map[string]string{
+		"seed": fmt.Sprint(r.Seed),
+	}, r.Metrics)
+	run.Source = "cmd/chaos"
+	quiesced := 0.0
+	if r.Quiesced {
+		quiesced = 1
+	}
+	run.Records = append(run.Records,
+		results.Record{Name: "report.tx_unique", Value: float64(r.TxUnique), Unit: "count"},
+		results.Record{Name: "report.forwarded", Value: float64(r.Forwarded), Unit: "count"},
+		results.Record{Name: "report.outstanding", Value: float64(r.Outstanding), Unit: "count"},
+		results.Record{Name: "report.unrecovered", Value: float64(r.Unrecovered), Unit: "count"},
+		results.Record{Name: "report.violations", Value: float64(len(r.Violations)), Unit: "count"},
+		results.Record{Name: "report.quiesced", Value: quiesced},
+	)
+	return run
+}
+
+// ingestReports streams every report of a sweep through the results
+// batcher (no-op without a store).
+func ingestReports(store *results.Store, sweep string, reports []*chaos.Report) {
+	if store == nil {
+		return
+	}
+	runs := make([]*results.Run, len(reports))
+	for i, r := range reports {
+		runs[i] = reportRun(r, i)
+	}
+	added, err := store.AddAll(runs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("results: %s ingested %d run(s) (%d new)\n", sweep, len(runs), added)
+}
+
+func run(sc chaos.Scenario, opts chaos.RunOpts, tracePath, metricsOut string, store *results.Store, stopProf func() error) int {
 	fmt.Printf("scenario %s seed=%d rate=%v frame=%dB load=%.2f window=%v steps=%d\n",
 		sc.Name, sc.Seed, sc.Rate, sc.FrameSize, sc.LoadFrac, sc.Window, len(sc.Steps))
 	for _, s := range sc.Steps {
@@ -158,15 +233,23 @@ func run(sc chaos.Scenario, opts chaos.RunOpts, tracePath, metricsOut string, st
 		}
 	}
 	fmt.Println(r)
+	if store != nil {
+		ack := store.Add(reportRun(r, opts.Index))
+		if ack.Err != nil {
+			log.Fatal(ack.Err)
+		}
+		fmt.Printf("results: run %s (new=%v)\n", ack.ID, ack.Added)
+	}
 	if r.Failed() {
 		if r.Artifact != "" {
 			fmt.Printf("artifact: %s\n", r.Artifact)
 		}
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
-func runFabric(sc chaos.Scenario, nsegs, shards int, metricsOut string, stopProf func() error) {
+func runFabric(sc chaos.Scenario, nsegs, shards int, metricsOut string, stopProf func() error) int {
 	fmt.Printf("scenario %s seed=%d rate=%v frame=%dB load=%.2f window=%v steps=%d fabric=%d shards=%d\n",
 		sc.Name, sc.Seed, sc.Rate, sc.FrameSize, sc.LoadFrac, sc.Window, len(sc.Steps), nsegs, shards)
 	fr := chaos.RunFabric(sc, nsegs, shards)
@@ -178,8 +261,9 @@ func runFabric(sc chaos.Scenario, nsegs, shards int, metricsOut string, stopProf
 	}
 	fmt.Println(fr)
 	if fr.Failed() {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func finishProfiles(stop func() error) {

@@ -31,6 +31,7 @@ import (
 	"linkguardian/internal/fleetsim"
 	"linkguardian/internal/obs"
 	"linkguardian/internal/parallel"
+	"linkguardian/internal/results"
 )
 
 func main() {
@@ -48,6 +49,7 @@ func main() {
 	podsPerShard := flag.Int("pods-per-shard", 32, "matrix mode: pods per shard (fixed by config, never by -workers)")
 	metricsOut := flag.String("metrics-out", "", "matrix mode: write per-shard fleet counters as a metrics JSON file")
 	invariance := flag.Bool("invariance", false, "matrix mode: re-run at workers 1/2/4/8 and fail unless all outputs are byte-identical")
+	resultsDir := flag.String("results-dir", "", "matrix mode: ingest one content-hashed run per solution's Pareto row into the results store at this directory")
 	flag.Parse()
 	parallel.SetWorkers(*workers)
 
@@ -97,6 +99,58 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *metricsOut)
 	}
+	if *resultsDir != "" {
+		if err := ingestPareto(*resultsDir, cfg, m); err != nil {
+			fmt.Fprintln(os.Stderr, "fleetsim:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// ingestPareto streams one run per solution's Pareto row through the
+// results batcher. The config carries the fabric scale and seed (never the
+// worker count — matrix results are worker-invariant and the content hash
+// must be too).
+func ingestPareto(dir string, cfg fleetsim.Config, m fleetsim.MatrixResult) error {
+	store, err := results.Open(dir)
+	if err != nil {
+		return err
+	}
+	conf := map[string]string{
+		"links":   fmt.Sprint(m.Config.NumLinks()),
+		"horizon": m.Config.Horizon.String(),
+		"seed":    fmt.Sprint(cfg.Seed),
+	}
+	rows := m.Pareto()
+	runs := make([]*results.Run, 0, len(rows))
+	for _, r := range rows {
+		runs = append(runs, &results.Run{
+			Kind:   "fleetsim",
+			Name:   "pareto/" + r.Solution,
+			Source: "cmd/fleetsim",
+			Config: conf,
+			Records: []results.Record{
+				{Name: "cost", Value: r.Cost},
+				{Name: "repairs", Value: float64(r.Repairs), Unit: "count"},
+				{Name: "activations", Value: float64(r.Activations), Unit: "count"},
+				{Name: "penalty.mean", Value: r.MeanPenalty},
+				{Name: "penalty.p99", Value: r.P99Penalty},
+				{Name: "penalty.max", Value: r.MaxPenalty},
+				{Name: "least_paths.min", Value: r.MinLeastPaths},
+				{Name: "least_cap.min", Value: r.MinLeastCap},
+				{Name: "least_cap.mean", Value: r.MeanLeastCap},
+			},
+		})
+	}
+	added, err := store.AddAll(runs)
+	if cerr := store.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, results.IngestSummary(dir, len(runs), added))
+	return nil
 }
 
 // legacy reproduces the pre-plugin §4.8 report (both policies expressed as

@@ -35,6 +35,7 @@ import (
 	"linkguardian/internal/core"
 	"linkguardian/internal/live"
 	"linkguardian/internal/obs"
+	"linkguardian/internal/results"
 	"linkguardian/internal/simtime"
 )
 
@@ -59,11 +60,12 @@ type options struct {
 	flows int
 	batch int
 
-	rateGbps float64
-	lgMode   string
-	seed     int64
-	strict   bool
-	jsonOut  bool
+	rateGbps   float64
+	lgMode     string
+	seed       int64
+	strict     bool
+	jsonOut    bool
+	resultsDir string
 }
 
 func parseFlags() *options {
@@ -89,6 +91,7 @@ func parseFlags() *options {
 	flag.Int64Var(&o.seed, "seed", 1, "impairment RNG seed")
 	flag.BoolVar(&o.strict, "strict", false, "exit non-zero unless the app-level audit is perfectly clean")
 	flag.BoolVar(&o.jsonOut, "json", false, "dump the final metrics snapshot as JSON to stdout")
+	flag.StringVar(&o.resultsDir, "results-dir", "", "demo/multi: ingest the run's delivery audit and counters into the results store at this directory")
 	flag.Parse()
 	if o.count == 0 {
 		o.count = uint64(o.pps * o.duration.Seconds())
@@ -196,9 +199,60 @@ func runDemoMode(o *options) error {
 			return err
 		}
 	}
+	if o.resultsDir != "" {
+		run := results.FromSnapshot("lglive", "demo", o.ingestConfig(),
+			obs.MergeSnapshots(report.Sender, report.Receiver))
+		run.Records = append(run.Records,
+			results.Record{Name: "audit.offered", Value: float64(report.Offered), Unit: "count"},
+			results.Record{Name: "audit.rx", Value: float64(report.App.Rx), Unit: "count"},
+			results.Record{Name: "audit.lost", Value: float64(report.App.Lost), Unit: "count"},
+			results.Record{Name: "audit.duplicate", Value: float64(report.App.Duplicate), Unit: "count"},
+			results.Record{Name: "audit.out_of_seq", Value: float64(report.App.OutOfSeq), Unit: "count"},
+			results.Record{Name: "proxy.dropped", Value: float64(report.ProxyDropped), Unit: "count"},
+			results.Record{Name: "elapsed_sec", Value: report.Elapsed.Seconds()},
+		)
+		if err := ingestRun(o.resultsDir, run); err != nil {
+			return err
+		}
+	}
 	if o.strict {
 		return report.Check()
 	}
+	return nil
+}
+
+// ingestConfig is the run configuration recorded with a live ingestion:
+// the offered-load shape and impairment model, not the wall-clock outcome.
+func (o *options) ingestConfig() map[string]string {
+	return map[string]string{
+		"seed":  fmt.Sprint(o.seed),
+		"count": fmt.Sprint(o.count),
+		"pps":   fmt.Sprint(o.pps),
+		"size":  fmt.Sprint(o.size),
+		"loss":  fmt.Sprint(o.loss),
+		"links": fmt.Sprint(o.links),
+		"flows": fmt.Sprint(o.flows),
+		"mode":  o.lgMode,
+	}
+}
+
+// ingestRun streams one run into the results store at dir. Live runs ride
+// the wall clock, so every execution is a distinct data point (the content
+// hash covers the measured counters, which differ run to run).
+func ingestRun(dir string, run *results.Run) error {
+	run.Source = "cmd/lglive"
+	store, err := results.Open(dir)
+	if err != nil {
+		return err
+	}
+	ack := store.Add(run)
+	if err := store.Close(); err != nil {
+		return err
+	}
+	if ack.Err != nil {
+		return ack.Err
+	}
+	fmt.Printf("results: run %s (new=%v) -> %s\n", ack.ID, ack.Added, dir)
 	return nil
 }
 
@@ -252,6 +306,28 @@ func runMultiMode(o *options) error {
 		fmt.Printf("link %d: offered=%d rx=%d lost=%d dup=%d ooo=%d flows=%d p99=%v | proxy dropped=%d | %s\n",
 			lr.Link, lr.Offered, lr.Rx, lr.Lost, lr.Duplicate, lr.OutOfSeq,
 			lr.Flows, lr.P99, lr.ProxyDropped, verdict)
+	}
+	if o.resultsDir != "" {
+		run := &results.Run{
+			Kind:   "lglive",
+			Name:   "multi",
+			Config: o.ingestConfig(),
+			Records: []results.Record{
+				{Name: "audit.offered", Value: float64(report.Offered), Unit: "count"},
+				{Name: "audit.delivered", Value: float64(report.Delivered), Unit: "count"},
+				{Name: "audit.lost", Value: float64(report.Lost), Unit: "count"},
+				{Name: "audit.duplicate", Value: float64(report.Duplicate), Unit: "count"},
+				{Name: "audit.out_of_seq", Value: float64(report.OutOfSeq), Unit: "count"},
+				{Name: "audit.masked", Value: float64(report.Masked), Unit: "count"},
+				{Name: "latency.p50_sec", Value: report.P50.Seconds()},
+				{Name: "latency.p99_sec", Value: report.P99.Seconds()},
+				{Name: "latency.p999_sec", Value: report.P999.Seconds()},
+				{Name: "elapsed_sec", Value: report.Elapsed.Seconds()},
+			},
+		}
+		if err := ingestRun(o.resultsDir, run); err != nil {
+			return err
+		}
 	}
 	if o.strict {
 		return report.Check()

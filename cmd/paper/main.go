@@ -27,6 +27,7 @@ import (
 	"linkguardian/internal/experiments"
 	"linkguardian/internal/obs"
 	"linkguardian/internal/parallel"
+	"linkguardian/internal/results"
 	"linkguardian/internal/simtime"
 	"linkguardian/internal/workload"
 )
@@ -38,6 +39,7 @@ func main() {
 	segments := flag.Int("segments", 4, "fabric segments for the opt-in fabric experiment")
 	shards := flag.Int("shards", 1, "concurrent shard executions for the fabric experiment; results are identical at any setting")
 	metricsOut := flag.String("metrics-out", "", "write the Figure 8 grid's merged metrics snapshot as JSON (runs the grid if not selected); byte-identical at any -workers")
+	resultsDir := flag.String("results-dir", "", "stream the Figure 8 grid's per-cell runs into the results store at this directory (runs the grid if not selected); content hashes are identical at any -workers")
 	tracePath := flag.String("trace", "", "write the canonical stress cell's link trace (.jsonl = JSONL, else Chrome trace_event)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile")
 	memprofile := flag.String("memprofile", "", "write a heap profile")
@@ -68,7 +70,7 @@ func main() {
 		table1()
 	}
 	var fig8 []experiments.StressResult
-	if run("fig8") || run("fig14") || run("fig19") || run("table4") || *metricsOut != "" {
+	if run("fig8") || run("fig14") || run("fig19") || run("table4") || *metricsOut != "" || *resultsDir != "" {
 		fig8 = figure8Family(*scale, run)
 	}
 	if run("fig9") {
@@ -130,6 +132,12 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *resultsDir != "" {
+		if err := ingestFig8(*resultsDir, *scale, fig8); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	if *tracePath != "" {
 		// The canonical trace cell: 100G, 1e-3 loss, Ordered mode.
 		o := experiments.DefaultStressOpts()
@@ -144,6 +152,43 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// ingestFig8 streams one run per Figure 8 grid cell through the results
+// batcher: every protocol counter of the cell's metrics snapshot plus the
+// headline stress metrics become records, content-hashed so a re-run of the
+// same configuration deduplicates. -workers never appears in the config and
+// snapshots are worker-invariant, so the store content is too.
+func ingestFig8(dir string, scale float64, fig8 []experiments.StressResult) error {
+	store, err := results.Open(dir)
+	if err != nil {
+		return err
+	}
+	cfg := map[string]string{"scale": fmt.Sprintf("%g", scale)}
+	runs := make([]*results.Run, 0, len(fig8))
+	for _, r := range fig8 {
+		name := fmt.Sprintf("fig8/%v-loss%.0e-%v", r.Rate, r.LossRate, r.Mode)
+		run := results.FromSnapshot("paper", name, cfg, r.Metrics)
+		run.Source = "cmd/paper"
+		run.Records = append(run.Records,
+			results.Record{Name: "eff_loss_observed", Value: r.EffLossObserved},
+			results.Record{Name: "eff_loss_analytic", Value: r.EffLossAnalytic},
+			results.Record{Name: "eff_speed_frac", Value: r.EffSpeedFrac},
+			results.Record{Name: "packets_sent", Value: float64(r.PacketsSent), Unit: "count"},
+			results.Record{Name: "recirc_tx_frac", Value: r.RecircTx},
+			results.Record{Name: "recirc_rx_frac", Value: r.RecircRx},
+		)
+		runs = append(runs, run)
+	}
+	added, err := store.AddAll(runs)
+	if cerr := store.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Println(results.IngestSummary(dir, len(runs), added))
+	return nil
 }
 
 // designSpace and workloadFCT are extensions beyond the paper's figures

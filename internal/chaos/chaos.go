@@ -216,7 +216,16 @@ type RunOpts struct {
 	// KeepTrace copies the trace ring into Report.Trace at the end of the
 	// run (cmd/chaos -trace).
 	KeepTrace bool
+
+	// Sink, when non-nil, arms the flight recorder and routes a failed
+	// run's dump into it as content-addressed blobs keyed by
+	// scenario-index-seed (the results store) instead of a bare artifact
+	// directory; Report.Artifact carries the sink's locator.
+	Sink obs.ArtifactSink
 }
+
+// armed reports whether the flight recorder should capture artifacts.
+func (o RunOpts) armed() bool { return o.ArtifactDir != "" || o.Sink != nil }
 
 // RunScenario executes one scenario and returns its invariant report.
 func RunScenario(sc Scenario) *Report {
@@ -273,22 +282,16 @@ func RunScenarioOpts(sc Scenario, opts RunOpts) *Report {
 		Seed:     sc.Seed,
 		Tracer:   tracer,
 		Registry: reg,
+		Sink:     opts.Sink,
 	}
-	frData := &obs.FlightRecorder{
-		Dir:      opts.ArtifactDir,
-		Scenario: sc.Name,
-		Index:    opts.Index,
-		Seed:     sc.Seed,
-		Tracer:   dataRing,
-	}
-	if opts.ArtifactDir != "" {
+	if opts.armed() {
 		// Snapshot both rings at the instant each rule first fires, while
 		// the offending frames are still in them; the end-of-run dump only
 		// has the tail of the drain phase.
 		chk.OnViolation = func(v Violation) {
 			fr.Note("violation."+v.Rule, v.Detail)
 			_ = fr.SnapshotTrace("trace-" + v.Rule + ".jsonl")
-			_ = frData.SnapshotTrace("trace-" + v.Rule + "-data.jsonl")
+			_ = fr.SnapshotTracer(dataRing, "trace-"+v.Rule+"-data.jsonl")
 		}
 		tb.Sim.Q.OnBudgetExceeded = func(diag string) {
 			fr.Note("eventq", diag)
@@ -376,7 +379,7 @@ func RunScenarioOpts(sc Scenario, opts RunOpts) *Report {
 	if opts.KeepTrace {
 		r.Trace = tracer.Events()
 	}
-	if r.Failed() && opts.ArtifactDir != "" {
+	if r.Failed() && opts.armed() {
 		for _, v := range r.Violations {
 			// The full bounded occurrence list, not just the first detail —
 			// one artifact carries the whole scenario's forensics.

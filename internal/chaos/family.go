@@ -514,11 +514,19 @@ func FamilySoak(master int64, perFamily int) *FamilySoakResult {
 // FamilySoakArtifacts is FamilySoak with the flight recorder armed for every
 // failing scenario.
 func FamilySoakArtifacts(master int64, perFamily int, dir string) *FamilySoakResult {
+	return FamilySoakWith(master, perFamily, RunOpts{ArtifactDir: dir})
+}
+
+// FamilySoakWith is FamilySoak with full per-run options (directory or
+// results-store sink); opts.Index is overwritten per scenario.
+func FamilySoakWith(master int64, perFamily int, opts RunOpts) *FamilySoakResult {
 	names := FamilyNames()
 	flat := parallel.Map(len(names)*perFamily, func(i int) *Report {
 		fam, j := names[i/perFamily], i%perFamily
 		sc, _ := GenFamilyScenario(fam, master, j)
-		return RunScenarioOpts(sc, RunOpts{ArtifactDir: dir, Index: j})
+		o := opts
+		o.Index = j
+		return RunScenarioOpts(sc, o)
 	})
 	out := &FamilySoakResult{Master: master, PerFamily: perFamily}
 	for fi, name := range names {

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"linkguardian/internal/obs"
+	"linkguardian/internal/results"
 )
 
 // A deliberately broken protocol (tail-loss detection ablated under a tail
@@ -140,5 +141,91 @@ func TestArtifactExcludedFromReportString(t *testing.T) {
 	}
 	if with.String() != without.String() {
 		t.Fatalf("report text depends on artifact wiring:\n%s\nvs\n%s", with, without)
+	}
+}
+
+// With a results store attached as the artifact sink, a failing scenario
+// must register its flight-recorder files as content-addressed blobs under
+// one run keyed scenario-index-seed — no directory dump — and the report's
+// locator must resolve back to readable bytes through the store.
+func TestFlightRecorderSink(t *testing.T) {
+	dir := t.TempDir()
+	store, err := results.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := tailBlackout(5)
+	sc.DisableTailLoss = true
+	r := RunScenarioOpts(sc, RunOpts{Sink: store, Index: 3, KeepTrace: true})
+	if !r.Failed() {
+		t.Fatalf("ablated scenario did not fail:\n%v", r)
+	}
+	const prefix = "results:"
+	if !strings.HasPrefix(r.Artifact, prefix) {
+		t.Fatalf("artifact locator %q, want %s<id>", r.Artifact, prefix)
+	}
+	id := strings.TrimPrefix(r.Artifact, prefix)
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := results.OpenFile(dir, results.FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	run, err := b.Get(id)
+	if err != nil {
+		t.Fatalf("locator %s does not resolve: %v", r.Artifact, err)
+	}
+	if run.Kind != "artifact" {
+		t.Fatalf("run kind %q, want artifact", run.Kind)
+	}
+	if !strings.Contains(run.Name, "0003") || !strings.Contains(run.Name, "seed5") {
+		t.Fatalf("run name %q not keyed by index and seed", run.Name)
+	}
+	if run.Config["scenario"] != sc.Name || run.Config["seed"] != "5" {
+		t.Fatalf("recorder metadata lost: %v", run.Config)
+	}
+
+	want := map[string]bool{
+		"REASON.txt": false, "trace.jsonl": false,
+		"trace.chrome.json": false, "metrics.json": false,
+		"trace-" + RuleLiveness + ".jsonl":      false,
+		"trace-" + RuleLiveness + "-data.jsonl": false,
+	}
+	for _, ref := range run.Blobs {
+		data, err := b.GetBlob(ref.Addr)
+		if err != nil {
+			t.Fatalf("blob %s: %v", ref.Name, err)
+		}
+		if int64(len(data)) != ref.Size || ref.Size == 0 {
+			t.Fatalf("blob %s: %d bytes on disk, ref says %d", ref.Name, len(data), ref.Size)
+		}
+		if _, known := want[ref.Name]; known {
+			want[ref.Name] = true
+		}
+		if ref.Name == "REASON.txt" && !strings.Contains(string(data), "violation."+RuleLiveness) {
+			t.Fatalf("REASON blob does not record the liveness violation:\n%s", data)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("artifact run missing blob %s (have %d blobs)", name, len(run.Blobs))
+		}
+	}
+
+	// Deterministic failures collapse: a second identical run re-registers
+	// to the same locator and adds nothing.
+	store2, err := results.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := RunScenarioOpts(sc, RunOpts{Sink: store2, Index: 3, KeepTrace: true})
+	if err := store2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Artifact != r.Artifact {
+		t.Fatalf("identical failure produced a new locator: %s vs %s", r2.Artifact, r.Artifact)
 	}
 }

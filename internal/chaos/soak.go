@@ -54,10 +54,20 @@ func Soak(master int64, n int) *SoakResult {
 // paths live outside Report.String(), so the determinism contract of the
 // report text is unaffected.
 func SoakArtifacts(master int64, n int, dir string) *SoakResult {
+	return SoakWith(master, n, RunOpts{ArtifactDir: dir})
+}
+
+// SoakWith is Soak with full per-run options (flight-recorder directory or
+// results-store sink); opts.Index is overwritten with each scenario's
+// index. Sinks must be safe for concurrent use — scenarios run across the
+// worker pool.
+func SoakWith(master int64, n int, opts RunOpts) *SoakResult {
 	return &SoakResult{
 		Master: master,
 		Reports: parallel.Map(n, func(i int) *Report {
-			return RunScenarioOpts(GenScenario(master, i), RunOpts{ArtifactDir: dir, Index: i})
+			o := opts
+			o.Index = i
+			return RunScenarioOpts(GenScenario(master, i), o)
 		}),
 	}
 }

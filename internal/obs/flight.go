@@ -1,36 +1,61 @@
 package obs
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 
 	"linkguardian/internal/simnet"
 )
 
+// Artifact is one named file of a flight-recorder dump.
+type Artifact struct {
+	Name string
+	Data []byte
+}
+
+// ArtifactSink receives a complete flight-recorder dump as in-memory files
+// instead of a bare directory: the results store implements it to register
+// artifacts as content-addressed blobs keyed by scenario-index-seed. The
+// returned locator replaces the directory path in reports.
+type ArtifactSink interface {
+	PutArtifact(key string, meta map[string]string, files []Artifact) (string, error)
+}
+
 // FlightRecorder snapshots a run's observability state — the trace ring's
-// last-N events plus a full metrics snapshot — into an on-disk artifact
-// when something goes wrong, so a chaos-soak failure leaves an inspectable
+// last-N events plus a full metrics snapshot — into an artifact when
+// something goes wrong, so a chaos-soak failure leaves an inspectable
 // packet history instead of a panic string.
 //
-// The artifact directory is a pure function of (Scenario, Index, Seed), so
-// a sharded soak writes each failing scenario's artifact to the same path
-// at any worker count, and rerunning the failing index reproduces the
+// The artifact key is a pure function of (Scenario, Index, Seed), so a
+// sharded soak writes each failing scenario's artifact to the same key at
+// any worker count, and rerunning the failing index reproduces the
 // artifact bit-for-bit.
+//
+// Destination: when Sink is set, the whole dump goes to it as one
+// content-addressed artifact set and no directory is written; otherwise
+// files land under Dir/<key>/ as before.
 type FlightRecorder struct {
-	Dir      string // artifact root; created on demand
+	Dir      string // artifact root for directory dumps; created on demand
 	Scenario string // scenario or run name
 	Index    int    // soak shard index; < 0 when not applicable
 	Seed     int64
 
 	Tracer   *simnet.Tracer
 	Registry *Registry
+	Sink     ArtifactSink
 
 	// Extra carries free-form diagnostics (eventq state, violation text)
 	// written to REASON.txt in sorted key order.
 	Extra map[string]string
+
+	// pending holds files captured before Dump (mid-run trace snapshots)
+	// when a Sink is attached; Dump flushes them with the rest.
+	pending []Artifact
 }
 
 // Note records one extra diagnostic key/value pair.
@@ -41,8 +66,8 @@ func (fr *FlightRecorder) Note(key, value string) {
 	fr.Extra[key] = value
 }
 
-// ArtifactDir returns the reproducible artifact path for this run.
-func (fr *FlightRecorder) ArtifactDir() string {
+// Key returns the reproducible scenario-index-seed artifact key.
+func (fr *FlightRecorder) Key() string {
 	name := fr.Scenario
 	if name == "" {
 		name = "run"
@@ -57,39 +82,73 @@ func (fr *FlightRecorder) ArtifactDir() string {
 	if fr.Index >= 0 {
 		name = fmt.Sprintf("%s-%04d", name, fr.Index)
 	}
-	return filepath.Join(fr.Dir, fmt.Sprintf("%s-seed%d", name, fr.Seed))
+	return fmt.Sprintf("%s-seed%d", name, fr.Seed)
 }
 
-// SnapshotTrace writes the trace ring's current contents to the named file
-// inside the artifact directory — used to pin down the packet history at
-// the instant an invariant fires, before later traffic rotates it out of
-// the ring.
-func (fr *FlightRecorder) SnapshotTrace(name string) error {
-	if fr.Tracer == nil {
+// ArtifactDir returns the reproducible artifact path for directory dumps.
+func (fr *FlightRecorder) ArtifactDir() string {
+	return filepath.Join(fr.Dir, fr.Key())
+}
+
+// meta describes the run for sink registration.
+func (fr *FlightRecorder) meta() map[string]string {
+	m := map[string]string{
+		"scenario": fr.Scenario,
+		"seed":     strconv.FormatInt(fr.Seed, 10),
+	}
+	if fr.Index >= 0 {
+		m["index"] = strconv.Itoa(fr.Index)
+	}
+	return m
+}
+
+// addFile records a captured file: into pending when a sink is attached,
+// otherwise straight into the artifact directory.
+func (fr *FlightRecorder) addFile(name string, data []byte) error {
+	if fr.Sink != nil {
+		for i := range fr.pending {
+			if fr.pending[i].Name == name {
+				fr.pending[i].Data = data
+				return nil
+			}
+		}
+		fr.pending = append(fr.pending, Artifact{Name: name, Data: data})
 		return nil
 	}
 	dir := fr.ArtifactDir()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	f, err := os.Create(filepath.Join(dir, name))
-	if err != nil {
+	return os.WriteFile(filepath.Join(dir, name), data, 0o644)
+}
+
+// SnapshotTrace writes the recorder's own trace ring to the named artifact
+// file — used to pin down the packet history at the instant an invariant
+// fires, before later traffic rotates it out of the ring.
+func (fr *FlightRecorder) SnapshotTrace(name string) error {
+	return fr.SnapshotTracer(fr.Tracer, name)
+}
+
+// SnapshotTracer captures any tracer's current ring contents under the
+// given artifact file name (the chaos runner keeps a second, data-only ring
+// alongside the full one).
+func (fr *FlightRecorder) SnapshotTracer(t *simnet.Tracer, name string) error {
+	if t == nil {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := WriteTraceJSONL(&buf, t.Events()); err != nil {
 		return err
 	}
-	defer f.Close()
-	return WriteTraceJSONL(f, fr.Tracer.Events())
+	return fr.addFile(name, buf.Bytes())
 }
 
 // Dump writes the full artifact: REASON.txt (the reason plus the Extra
 // diagnostics), trace.jsonl and trace.chrome.json (when a tracer is
-// attached), and metrics.json (when a registry is attached). It returns
-// the artifact directory.
+// attached), metrics.json (when a registry is attached), and any files
+// captured earlier via SnapshotTrace. With a Sink it returns the sink's
+// locator; otherwise the artifact directory.
 func (fr *FlightRecorder) Dump(reason string) (string, error) {
-	dir := fr.ArtifactDir()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return dir, err
-	}
-
 	var b strings.Builder
 	fmt.Fprintf(&b, "scenario: %s\nseed: %d\n", fr.Scenario, fr.Seed)
 	if fr.Index >= 0 {
@@ -104,42 +163,39 @@ func (fr *FlightRecorder) Dump(reason string) (string, error) {
 	for _, k := range keys {
 		fmt.Fprintf(&b, "%s: %s\n", k, fr.Extra[k])
 	}
-	if err := os.WriteFile(filepath.Join(dir, "REASON.txt"), []byte(b.String()), 0o644); err != nil {
-		return dir, err
-	}
 
+	files := []Artifact{{Name: "REASON.txt", Data: []byte(b.String())}}
 	if fr.Tracer != nil {
 		events := fr.Tracer.Events()
-		f, err := os.Create(filepath.Join(dir, "trace.jsonl"))
-		if err != nil {
-			return dir, err
+		var jb, cb bytes.Buffer
+		if err := WriteTraceJSONL(&jb, events); err != nil {
+			return "", err
 		}
-		if err := WriteTraceJSONL(f, events); err != nil {
-			f.Close()
-			return dir, err
+		if err := WriteChromeTrace(&cb, events); err != nil {
+			return "", err
 		}
-		f.Close()
-		f, err = os.Create(filepath.Join(dir, "trace.chrome.json"))
-		if err != nil {
-			return dir, err
+		files = append(files,
+			Artifact{Name: "trace.jsonl", Data: jb.Bytes()},
+			Artifact{Name: "trace.chrome.json", Data: cb.Bytes()})
+	}
+	if fr.Registry != nil {
+		var mb bytes.Buffer
+		if err := fr.Registry.Snapshot().WriteJSON(&mb); err != nil {
+			return "", err
 		}
-		if err := WriteChromeTrace(f, events); err != nil {
-			f.Close()
-			return dir, err
-		}
-		f.Close()
+		files = append(files, Artifact{Name: "metrics.json", Data: mb.Bytes()})
 	}
 
-	if fr.Registry != nil {
-		f, err := os.Create(filepath.Join(dir, "metrics.json"))
-		if err != nil {
+	if fr.Sink != nil {
+		files = append(fr.pending, files...)
+		fr.pending = nil
+		return fr.Sink.PutArtifact(fr.Key(), fr.meta(), files)
+	}
+	dir := fr.ArtifactDir()
+	for _, f := range files {
+		if err := fr.addFile(f.Name, f.Data); err != nil {
 			return dir, err
 		}
-		if err := fr.Registry.Snapshot().WriteJSON(f); err != nil {
-			f.Close()
-			return dir, err
-		}
-		f.Close()
 	}
 	return dir, nil
 }

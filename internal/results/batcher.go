@@ -1,0 +1,223 @@
+package results
+
+import (
+	"sync/atomic"
+	"time"
+
+	"linkguardian/internal/obs"
+)
+
+// BatcherOpts tunes the batching committer; the zero value uses defaults.
+type BatcherOpts struct {
+	MaxBatch int           // runs per backend commit (default 256)
+	MaxDelay time.Duration // max time an item waits for its batch to fill (default 2ms)
+	Buffer   int           // submit channel depth (default 1024)
+}
+
+// CommitTiming is the per-item ingestion cost breakdown carried on every
+// ack: how long the item sat in the submit channel (EnqueueWait), how long
+// its batch took to latch once the committer picked it up (BatchLatch), and
+// how long the backend commit took (Commit). Summed over items these are
+// the batcher's own cost model — the ingestion path is observable through
+// the same store it feeds.
+type CommitTiming struct {
+	EnqueueWait time.Duration
+	BatchLatch  time.Duration
+	Commit      time.Duration
+}
+
+// Ack is the per-item commit response.
+type Ack struct {
+	ID     string // content hash assigned to the run
+	Added  bool   // false when the run deduplicated against an existing ID
+	Err    error  // non-nil when the batch commit failed; the run is not stored
+	Timing CommitTiming
+}
+
+type item struct {
+	run  *Run
+	resp chan Ack
+	enq  time.Time // Submit time
+	recv time.Time // committer pickup time
+}
+
+// BatcherStats is a point-in-time copy of the batcher's atomic counters.
+type BatcherStats struct {
+	Submitted     uint64
+	Committed     uint64 // acked Added
+	Deduped       uint64 // acked as duplicates
+	Errored       uint64 // acked with a commit error
+	Batches       uint64
+	CommitErrors  uint64
+	Depth         int // submit channel backlog right now
+	EnqueueWaitNs uint64
+	BatchLatchNs  uint64
+	CommitNs      uint64
+}
+
+// Batcher is the channel-fed batching committer: Submit enqueues a run and
+// returns a single-use response channel; one committer goroutine latches
+// submissions into batches (sealed by MaxBatch or MaxDelay, whichever
+// first) and commits them through the Backend. Every Submit receives
+// exactly one Ack — success, dedup, or commit error — and Close drains the
+// channel completely before returning, so no producer is ever left waiting.
+type Batcher struct {
+	backend  Backend
+	in       chan item
+	done     chan struct{}
+	maxBatch int
+	maxDelay time.Duration
+
+	submitted, committed, deduped, errored atomic.Uint64
+	batches, commitErrors                  atomic.Uint64
+	enqueueWaitNs, batchLatchNs, commitNs  atomic.Uint64
+}
+
+// NewBatcher starts a committer for the backend.
+func NewBatcher(b Backend, opts BatcherOpts) *Batcher {
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = 256
+	}
+	if opts.MaxDelay <= 0 {
+		opts.MaxDelay = 2 * time.Millisecond
+	}
+	if opts.Buffer <= 0 {
+		opts.Buffer = 1024
+	}
+	bt := &Batcher{
+		backend:  b,
+		in:       make(chan item, opts.Buffer),
+		done:     make(chan struct{}),
+		maxBatch: opts.MaxBatch,
+		maxDelay: opts.MaxDelay,
+	}
+	go bt.loop()
+	return bt
+}
+
+// Submit enqueues the run and returns its response channel (buffered, never
+// blocks the committer). The run's ID is assigned here (content hash) so
+// the caller can correlate before the ack arrives. Ownership of the run
+// transfers to the store: it must not be mutated after Submit. Submitting
+// after Close panics — producers must be stopped first.
+func (bt *Batcher) Submit(run *Run) <-chan Ack {
+	if run.ID == "" {
+		run.ID = run.Hash()
+	}
+	bt.submitted.Add(1)
+	it := item{run: run, resp: make(chan Ack, 1), enq: time.Now()}
+	bt.in <- it
+	return it.resp
+}
+
+// Close drains every queued submission into final batches, commits them,
+// acks them, and shuts the committer down. Safe to call once.
+func (bt *Batcher) Close() error {
+	close(bt.in)
+	<-bt.done
+	return nil
+}
+
+// Stats copies the batcher's counters.
+func (bt *Batcher) Stats() BatcherStats {
+	return BatcherStats{
+		Submitted:     bt.submitted.Load(),
+		Committed:     bt.committed.Load(),
+		Deduped:       bt.deduped.Load(),
+		Errored:       bt.errored.Load(),
+		Batches:       bt.batches.Load(),
+		CommitErrors:  bt.commitErrors.Load(),
+		Depth:         len(bt.in),
+		EnqueueWaitNs: bt.enqueueWaitNs.Load(),
+		BatchLatchNs:  bt.batchLatchNs.Load(),
+		CommitNs:      bt.commitNs.Load(),
+	}
+}
+
+// Register exposes the batcher on an obs registry under prefix: counters
+// for submitted/committed/deduped/errored/batches/commit_errors and the
+// cumulative per-stage nanoseconds, plus a function-backed depth gauge.
+// All readings are atomic loads, so snapshots may be taken while producers
+// are still submitting.
+func (bt *Batcher) Register(reg *obs.Registry, prefix string) {
+	reg.CounterFunc(prefix+".submitted", bt.submitted.Load)
+	reg.CounterFunc(prefix+".committed", bt.committed.Load)
+	reg.CounterFunc(prefix+".deduped", bt.deduped.Load)
+	reg.CounterFunc(prefix+".errored", bt.errored.Load)
+	reg.CounterFunc(prefix+".batches", bt.batches.Load)
+	reg.CounterFunc(prefix+".commit_errors", bt.commitErrors.Load)
+	reg.CounterFunc(prefix+".enqueue_wait_ns", bt.enqueueWaitNs.Load)
+	reg.CounterFunc(prefix+".batch_latch_ns", bt.batchLatchNs.Load)
+	reg.CounterFunc(prefix+".commit_ns", bt.commitNs.Load)
+	reg.GaugeFunc(prefix+".depth", func() float64 { return float64(len(bt.in)) })
+}
+
+func (bt *Batcher) loop() {
+	defer close(bt.done)
+	for {
+		first, ok := <-bt.in
+		if !ok {
+			return
+		}
+		bt.flushFrom(first)
+	}
+}
+
+// flushFrom latches a batch starting at first: it keeps accepting items
+// until the batch is full, the latch timer fires, or the channel closes
+// (shutdown — whatever is buffered still drains through subsequent
+// flushFrom calls from loop).
+func (bt *Batcher) flushFrom(first item) {
+	first.recv = time.Now()
+	batch := append(make([]item, 0, bt.maxBatch), first)
+	timer := time.NewTimer(bt.maxDelay)
+	defer timer.Stop()
+latch:
+	for len(batch) < bt.maxBatch {
+		select {
+		case it, ok := <-bt.in:
+			if !ok {
+				break latch
+			}
+			it.recv = time.Now()
+			batch = append(batch, it)
+		case <-timer.C:
+			break latch
+		}
+	}
+	sealed := time.Now()
+
+	runs := make([]*Run, len(batch))
+	for i, it := range batch {
+		runs[i] = it.run
+	}
+	added, err := bt.backend.Commit(runs)
+	committed := time.Now()
+	commitDur := committed.Sub(sealed)
+
+	bt.batches.Add(1)
+	if err != nil {
+		bt.commitErrors.Add(1)
+	}
+	for i, it := range batch {
+		t := CommitTiming{
+			EnqueueWait: it.recv.Sub(it.enq),
+			BatchLatch:  sealed.Sub(it.recv),
+			Commit:      commitDur,
+		}
+		bt.enqueueWaitNs.Add(uint64(t.EnqueueWait))
+		bt.batchLatchNs.Add(uint64(t.BatchLatch))
+		bt.commitNs.Add(uint64(t.Commit))
+		ack := Ack{ID: it.run.ID, Err: err, Timing: t}
+		switch {
+		case err != nil:
+			bt.errored.Add(1)
+		case added[i]:
+			ack.Added = true
+			bt.committed.Add(1)
+		default:
+			bt.deduped.Add(1)
+		}
+		it.resp <- ack
+	}
+}

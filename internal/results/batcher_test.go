@@ -1,0 +1,227 @@
+package results
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// faultBackend wraps a Backend and injects commit stalls and failures: every
+// failEvery-th commit returns errInjected (without storing the batch), and
+// every commit sleeps for stall. It counts commits and the largest batch
+// observed so tests can assert batching actually happened.
+type faultBackend struct {
+	Backend
+	stall     time.Duration
+	failEvery int // 0 = never fail
+
+	commits  atomic.Uint64
+	maxBatch atomic.Uint64
+}
+
+var errInjected = errors.New("injected commit failure")
+
+func (f *faultBackend) Commit(runs []*Run) ([]bool, error) {
+	n := f.commits.Add(1)
+	for {
+		cur := f.maxBatch.Load()
+		if uint64(len(runs)) <= cur || f.maxBatch.CompareAndSwap(cur, uint64(len(runs))) {
+			break
+		}
+	}
+	if f.stall > 0 {
+		time.Sleep(f.stall)
+	}
+	if f.failEvery > 0 && n%uint64(f.failEvery) == 0 {
+		return nil, errInjected
+	}
+	return f.Backend.Commit(runs)
+}
+
+func testRun(producer, i int) *Run {
+	return &Run{
+		Kind:   "bench",
+		Name:   fmt.Sprintf("soak-%d-%d", producer, i),
+		Config: map[string]string{"producer": fmt.Sprint(producer)},
+		Records: []Record{
+			{Name: "value", Value: float64(i)},
+			{Name: "producer", Value: float64(producer)},
+		},
+	}
+}
+
+// TestBatcherSoak is the concurrency soak: many producers stream records
+// through one batcher into a stalling, intermittently failing backend. The
+// guarantees under test: every Submit gets exactly one ack, acks partition
+// exactly into committed/deduped/errored, Close drains everything, and
+// whatever the backend accepted is readable afterwards. Run under -race.
+func TestBatcherSoak(t *testing.T) {
+	const (
+		producers = 32
+		perProd   = 150
+	)
+	fb := &faultBackend{Backend: NewMem(), stall: 100 * time.Microsecond, failEvery: 7}
+	bt := NewBatcher(fb, BatcherOpts{MaxBatch: 64, MaxDelay: 500 * time.Microsecond, Buffer: 128})
+
+	var acked, added, deduped, errored atomic.Uint64
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			pending := make([]<-chan Ack, 0, perProd)
+			for i := 0; i < perProd; i++ {
+				run := testRun(p, i%100) // i%100 forces intra-producer duplicates
+				pending = append(pending, bt.Submit(run))
+			}
+			for _, ch := range pending {
+				ack := <-ch
+				acked.Add(1)
+				switch {
+				case ack.Err != nil:
+					if !errors.Is(ack.Err, errInjected) {
+						t.Errorf("unexpected ack error: %v", ack.Err)
+					}
+					errored.Add(1)
+				case ack.Added:
+					added.Add(1)
+				default:
+					deduped.Add(1)
+				}
+				if ack.ID == "" {
+					t.Error("ack without ID")
+				}
+				if ack.Timing.EnqueueWait < 0 || ack.Timing.BatchLatch < 0 || ack.Timing.Commit < 0 {
+					t.Errorf("negative timing: %+v", ack.Timing)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if err := bt.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	total := uint64(producers * perProd)
+	if acked.Load() != total {
+		t.Fatalf("acked %d of %d submissions", acked.Load(), total)
+	}
+	if got := added.Load() + deduped.Load() + errored.Load(); got != total {
+		t.Fatalf("acks don't partition: %d added + %d deduped + %d errored != %d",
+			added.Load(), deduped.Load(), errored.Load(), total)
+	}
+	if errored.Load() == 0 {
+		t.Fatal("fault injection never fired — the test lost its teeth")
+	}
+	if added.Load() == 0 {
+		t.Fatal("nothing committed")
+	}
+
+	st := bt.Stats()
+	if st.Submitted != total || st.Committed != added.Load() ||
+		st.Deduped != deduped.Load() || st.Errored != errored.Load() {
+		t.Fatalf("stats disagree with acks: %+v", st)
+	}
+	if st.Depth != 0 {
+		t.Fatalf("channel not drained: depth %d after Close", st.Depth)
+	}
+	if fb.maxBatch.Load() < 2 {
+		t.Fatalf("no batching observed (max batch %d)", fb.maxBatch.Load())
+	}
+	if st.EnqueueWaitNs == 0 || st.CommitNs == 0 {
+		t.Fatalf("timing counters not accumulating: %+v", st)
+	}
+
+	// Everything acked Added must be readable; errored runs must not be.
+	stored, err := fb.Backend.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(stored)) != added.Load() {
+		t.Fatalf("backend holds %d runs, acks said %d added", len(stored), added.Load())
+	}
+}
+
+// TestBatcherCloseDrains verifies the drain-before-close guarantee with a
+// slow backend: items buffered in the channel at Close time still commit and
+// ack. The producer goroutines are done before Close, as Store.Close
+// requires.
+func TestBatcherCloseDrains(t *testing.T) {
+	fb := &faultBackend{Backend: NewMem(), stall: 2 * time.Millisecond}
+	bt := NewBatcher(fb, BatcherOpts{MaxBatch: 4, MaxDelay: time.Hour, Buffer: 256})
+
+	const n = 100
+	acks := make([]<-chan Ack, n)
+	for i := 0; i < n; i++ {
+		acks[i] = bt.Submit(testRun(0, i))
+	}
+	// Most items still sit in the channel: the committer is stalled on its
+	// first batch and MaxDelay will never fire.
+	if err := bt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, ch := range acks {
+		select {
+		case ack := <-ch:
+			if ack.Err != nil {
+				t.Fatalf("item %d: %v", i, ack.Err)
+			}
+		default:
+			t.Fatalf("item %d never acked after Close", i)
+		}
+	}
+	if got := bt.Stats().Committed; got != n {
+		t.Fatalf("committed %d of %d after Close", got, n)
+	}
+}
+
+// TestBatcherMaxDelay seals a partial batch by timer: a single submission
+// must ack promptly even though the batch never fills.
+func TestBatcherMaxDelay(t *testing.T) {
+	bt := NewBatcher(NewMem(), BatcherOpts{MaxBatch: 1 << 20, MaxDelay: time.Millisecond})
+	defer bt.Close()
+	select {
+	case ack := <-bt.Submit(testRun(1, 1)):
+		if ack.Err != nil || !ack.Added {
+			t.Fatalf("ack = %+v", ack)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("single submission never sealed by MaxDelay")
+	}
+}
+
+// TestBatcherCommitErrorAcksWholeBatch: a failing commit must still ack every
+// item of its batch, with the error attached, and store none of them.
+func TestBatcherCommitErrorAcksWholeBatch(t *testing.T) {
+	mem := NewMem()
+	fb := &faultBackend{Backend: mem, failEvery: 1} // every commit fails
+	bt := NewBatcher(fb, BatcherOpts{MaxBatch: 8, MaxDelay: time.Millisecond})
+
+	const n = 20
+	acks := make([]<-chan Ack, n)
+	for i := 0; i < n; i++ {
+		acks[i] = bt.Submit(testRun(2, i))
+	}
+	if err := bt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, ch := range acks {
+		ack := <-ch
+		if !errors.Is(ack.Err, errInjected) {
+			t.Fatalf("item %d: err = %v, want injected", i, ack.Err)
+		}
+		if ack.Added {
+			t.Fatalf("item %d acked Added despite commit failure", i)
+		}
+	}
+	if runs, _ := mem.List(); len(runs) != 0 {
+		t.Fatalf("%d runs stored through failing commits", len(runs))
+	}
+	st := bt.Stats()
+	if st.Errored != n || st.CommitErrors == 0 {
+		t.Fatalf("stats = %+v, want %d errored", st, n)
+	}
+}

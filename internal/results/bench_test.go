@@ -1,0 +1,82 @@
+package results
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// benchIngest drives nProducers goroutines streaming distinct runs through
+// one batcher into the backend and reports records/sec plus the per-stage
+// timing breakdown (enqueue wait, batch latch, backend commit) from the
+// batcher's own counters. This is the BENCH ingest gate: the file backend
+// must sustain >= 100k records/sec on one vCPU.
+func benchIngest(b *testing.B, backend Backend, nProducers int) {
+	bt := NewBatcher(backend, BatcherOpts{})
+
+	// Pre-build the distinct runs so the timed section is the ingestion
+	// path itself — Submit, hash, batch, commit, ack — not producer-side
+	// struct construction.
+	per := b.N/nProducers + 1
+	runs := make([][]*Run, nProducers)
+	for p := range runs {
+		runs[p] = make([]*Run, per)
+		for i := range runs[p] {
+			runs[p][i] = &Run{
+				Kind:   "bench",
+				Name:   fmt.Sprintf("ingest-%d-%d", p, i),
+				Config: map[string]string{"producer": fmt.Sprint(p)},
+				Records: []Record{
+					{Name: "value", Value: float64(i)},
+					{Name: "producer", Value: float64(p)},
+				},
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+
+	var wg sync.WaitGroup
+	for p := 0; p < nProducers; p++ {
+		wg.Add(1)
+		go func(mine []*Run) {
+			defer wg.Done()
+			acks := make([]<-chan Ack, 0, len(mine))
+			for _, r := range mine {
+				acks = append(acks, bt.Submit(r))
+			}
+			for _, ch := range acks {
+				if ack := <-ch; ack.Err != nil {
+					b.Error(ack.Err)
+					return
+				}
+			}
+		}(runs[p])
+	}
+	wg.Wait()
+	b.StopTimer()
+
+	st := bt.Stats()
+	n := float64(st.Submitted)
+	b.ReportMetric(n/b.Elapsed().Seconds(), "records/sec")
+	b.ReportMetric(float64(st.EnqueueWaitNs)/n, "enqueue-ns/rec")
+	b.ReportMetric(float64(st.BatchLatchNs)/n, "latch-ns/rec")
+	b.ReportMetric(float64(st.CommitNs)/n, "commit-ns/rec")
+	b.ReportMetric(n/float64(st.Batches), "recs/batch")
+	if err := bt.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkIngestFile(b *testing.B) {
+	f, err := OpenFile(b.TempDir(), FileOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	benchIngest(b, f, 64)
+}
+
+func BenchmarkIngestMem(b *testing.B) {
+	benchIngest(b, NewMem(), 64)
+}

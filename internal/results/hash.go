@@ -1,0 +1,63 @@
+package results
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"strconv"
+)
+
+// Hash computes the run's content address: the hex-encoded first 16 bytes
+// of the SHA-256 of the canonical serialization. The serialization is
+// line-oriented with every string quoted (strconv.Quote) and every float
+// rendered by strconv.FormatFloat(v, 'g', -1, 64), config keys sorted and
+// records/blobs normalized — so the hash is a pure function of the run's
+// content, independent of map iteration order, producer interleaving, or
+// the worker count of the experiment that produced it.
+//
+// Source is provenance, not content, and is excluded: re-importing the same
+// bytes from a renamed file deduplicates.
+func (r *Run) Hash() string {
+	r.Normalize()
+	h := sha256.New()
+	buf := make([]byte, 0, 256)
+	line := func(parts ...string) {
+		buf = buf[:0]
+		for i, p := range parts {
+			if i > 0 {
+				buf = append(buf, ' ')
+			}
+			buf = append(buf, p...)
+		}
+		buf = append(buf, '\n')
+		h.Write(buf)
+	}
+	line("run/v1")
+	line("kind", strconv.Quote(r.Kind))
+	line("name", strconv.Quote(r.Name))
+	line("pr", strconv.Itoa(r.PR))
+	keys := make([]string, 0, len(r.Config))
+	for k := range r.Config {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		line("config", strconv.Quote(k), strconv.Quote(r.Config[k]))
+	}
+	for _, rec := range r.Records {
+		line("record", strconv.Quote(rec.Name), strconv.Quote(rec.Unit),
+			strconv.FormatFloat(rec.Value, 'g', -1, 64))
+	}
+	for _, b := range r.Blobs {
+		line("blob", strconv.Quote(b.Name), strconv.Quote(b.Addr), strconv.FormatInt(b.Size, 10))
+	}
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:16])
+}
+
+// BlobAddr computes the content address of an artifact blob: the same
+// truncated SHA-256 scheme as run IDs, over the raw bytes.
+func BlobAddr(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:16])
+}

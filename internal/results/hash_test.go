@@ -1,0 +1,140 @@
+package results
+
+import (
+	"fmt"
+	"testing"
+
+	"linkguardian/internal/parallel"
+)
+
+func goldenRun() *Run {
+	return &Run{
+		Kind: "bench",
+		Name: "golden",
+		PR:   10,
+		Config: map[string]string{
+			"cpus": "1",
+			"mode": "ordered",
+			"seed": "42",
+		},
+		Records: []Record{
+			{Name: "pkts_per_sec", Value: 1.25e6},
+			{Name: "allocs_per_pkt", Value: 0},
+			{Name: "eff_loss", Value: 3.7e-9},
+		},
+		Blobs: []BlobRef{
+			{Name: "trace.jsonl", Addr: "00112233445566778899aabbccddeeff", Size: 4096},
+		},
+	}
+}
+
+// goldenRunHash locks the canonical serialization: if this constant changes,
+// every stored run ID changes and existing stores stop deduplicating.
+// Update it ONLY with a deliberate format bump (and say so in the commit).
+const goldenRunHash = "4de205ececf2039f28cbf9fb4cce03ba"
+
+func TestHashGolden(t *testing.T) {
+	if got := goldenRun().Hash(); got != goldenRunHash {
+		t.Fatalf("canonical hash changed:\n got %s\nwant %s\n(this invalidates every existing store — bump deliberately)", got, goldenRunHash)
+	}
+}
+
+func TestHashDeterminism(t *testing.T) {
+	// Repeated hashing, fresh struct each time: no map-iteration or
+	// record-order dependence.
+	for i := 0; i < 50; i++ {
+		if got := goldenRun().Hash(); got != goldenRunHash {
+			t.Fatalf("iteration %d: hash %s != %s", i, got, goldenRunHash)
+		}
+	}
+	// Record order must not matter.
+	r := goldenRun()
+	r.Records[0], r.Records[2] = r.Records[2], r.Records[0]
+	if got := r.Hash(); got != goldenRunHash {
+		t.Fatalf("record order leaked into hash: %s", got)
+	}
+}
+
+func TestHashExcludesSource(t *testing.T) {
+	a, b := goldenRun(), goldenRun()
+	a.Source = "BENCH_10.json"
+	b.Source = "renamed-copy.json"
+	if a.Hash() != b.Hash() {
+		t.Fatal("Source is provenance, not content — it must not change the hash")
+	}
+}
+
+func TestHashSensitivity(t *testing.T) {
+	base := goldenRun().Hash()
+	mutations := map[string]func(*Run){
+		"kind":         func(r *Run) { r.Kind = "paper" },
+		"name":         func(r *Run) { r.Name = "golden2" },
+		"pr":           func(r *Run) { r.PR = 11 },
+		"config value": func(r *Run) { r.Config["seed"] = "43" },
+		"config key":   func(r *Run) { r.Config["extra"] = "1" },
+		"record value": func(r *Run) { r.Records[0].Value += 1e-9 },
+		"record unit":  func(r *Run) { r.Records[0].Unit = "count" },
+		"blob addr":    func(r *Run) { r.Blobs[0].Addr = "ffeeddccbbaa99887766554433221100" },
+		"blob size":    func(r *Run) { r.Blobs[0].Size = 4097 },
+	}
+	for what, mutate := range mutations {
+		r := goldenRun()
+		mutate(r)
+		if r.Hash() == base {
+			t.Errorf("mutating %s did not change the hash", what)
+		}
+	}
+}
+
+// TestHashWorkerInvariance is the acceptance check for the determinism
+// satellite: the same experiment produced at -workers 1/2/4/8 must yield the
+// same set of run IDs and the same store content hash-for-hash.
+func TestHashWorkerInvariance(t *testing.T) {
+	defer parallel.SetWorkers(0)
+	const runs = 64
+	produce := func(workers int) map[string]bool {
+		parallel.SetWorkers(workers)
+		ids := parallel.Map(runs, func(i int) string {
+			r := &Run{
+				Kind:   "paper",
+				Name:   fmt.Sprintf("cell-%02d", i),
+				Config: map[string]string{"scale": "0.01", "cell": fmt.Sprint(i)},
+				Records: []Record{
+					{Name: "eff_loss", Value: 1e-8 * float64(i)},
+					{Name: "pkts", Value: float64(1000 * i), Unit: "count"},
+				},
+			}
+			return r.Hash()
+		})
+		set := make(map[string]bool, len(ids))
+		for _, id := range ids {
+			set[id] = true
+		}
+		return set
+	}
+	want := produce(1)
+	for _, w := range []int{2, 4, 8} {
+		got := produce(w)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d distinct IDs, want %d", w, len(got), len(want))
+		}
+		for id := range want {
+			if !got[id] {
+				t.Fatalf("workers=%d: missing ID %s", w, id)
+			}
+		}
+	}
+}
+
+func TestBlobAddr(t *testing.T) {
+	a := BlobAddr([]byte("hello"))
+	if a != BlobAddr([]byte("hello")) {
+		t.Fatal("BlobAddr not deterministic")
+	}
+	if a == BlobAddr([]byte("hello!")) {
+		t.Fatal("BlobAddr collision on different content")
+	}
+	if len(a) != 32 {
+		t.Fatalf("BlobAddr length %d, want 32 hex chars", len(a))
+	}
+}

@@ -1,0 +1,102 @@
+package results
+
+import (
+	"fmt"
+	"sort"
+
+	"linkguardian/internal/obs"
+)
+
+// Store ties a Backend to a running Batcher: the handle producers hold.
+type Store struct {
+	Backend Backend
+	Batcher *Batcher
+}
+
+// Open opens (creating if necessary) a file-backed store at dir with a
+// default batcher.
+func Open(dir string) (*Store, error) {
+	b, err := OpenFile(dir, FileOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return NewStore(b, BatcherOpts{}), nil
+}
+
+// NewStore wraps an existing backend with a fresh batcher.
+func NewStore(b Backend, opts BatcherOpts) *Store {
+	return &Store{Backend: b, Batcher: NewBatcher(b, opts)}
+}
+
+// Submit streams one run through the batcher; see Batcher.Submit.
+func (s *Store) Submit(run *Run) <-chan Ack { return s.Batcher.Submit(run) }
+
+// Add submits the run and waits for its ack — the synchronous convenience
+// for low-rate producers (CLI ingestion, artifact registration).
+func (s *Store) Add(run *Run) Ack { return <-s.Submit(run) }
+
+// AddAll submits every run, then waits for every ack. It returns the
+// number added (non-duplicate) and the first commit error, if any.
+func (s *Store) AddAll(runs []*Run) (added int, err error) {
+	acks := make([]<-chan Ack, len(runs))
+	for i, r := range runs {
+		acks[i] = s.Submit(r)
+	}
+	for _, ch := range acks {
+		a := <-ch
+		if a.Added {
+			added++
+		}
+		if a.Err != nil && err == nil {
+			err = a.Err
+		}
+	}
+	return added, err
+}
+
+// Close drains the batcher, then closes the backend. Producers must have
+// stopped submitting.
+func (s *Store) Close() error {
+	if err := s.Batcher.Close(); err != nil {
+		return err
+	}
+	return s.Backend.Close()
+}
+
+// PutArtifact implements obs.ArtifactSink: every file becomes a
+// content-addressed blob and the set registers as one run of kind
+// "artifact" named by the flight recorder's scenario-index-seed key, with
+// the recorder's metadata as the run config. The returned locator
+// ("results:<id>") replaces the bare directory path in failure reports;
+// cmd/results show resolves it back to the blobs.
+func (s *Store) PutArtifact(key string, meta map[string]string, files []obs.Artifact) (string, error) {
+	run := &Run{Kind: "artifact", Name: key, Source: "flight-recorder"}
+	if len(meta) > 0 {
+		run.Config = make(map[string]string, len(meta))
+		for k, v := range meta {
+			run.Config[k] = v
+		}
+	}
+	sorted := append([]obs.Artifact(nil), files...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	for _, f := range sorted {
+		addr, err := s.Backend.PutBlob(f.Data)
+		if err != nil {
+			return "", err
+		}
+		run.Blobs = append(run.Blobs, BlobRef{Name: f.Name, Addr: addr, Size: int64(len(f.Data))})
+	}
+	ack := s.Add(run)
+	if ack.Err != nil {
+		return "", ack.Err
+	}
+	return "results:" + ack.ID, nil
+}
+
+var _ obs.ArtifactSink = (*Store)(nil)
+
+// IngestSummary formats an AddAll outcome for producer CLIs.
+func IngestSummary(dir string, total, added int) string {
+	return fmt.Sprintf("results: %d run(s) ingested into %s (%d new, %d deduplicated)",
+		total, dir, added, total-added)
+}

@@ -1,0 +1,168 @@
+package results
+
+import (
+	"bytes"
+	"testing"
+
+	"linkguardian/internal/obs"
+)
+
+func TestStorePutArtifact(t *testing.T) {
+	for _, backend := range []struct {
+		name string
+		open func(t *testing.T) Backend
+	}{
+		{"mem", func(t *testing.T) Backend { return NewMem() }},
+		{"file", func(t *testing.T) Backend {
+			f, err := OpenFile(t.TempDir(), FileOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return f
+		}},
+	} {
+		t.Run(backend.name, func(t *testing.T) {
+			b := backend.open(t)
+			s := NewStore(b, BatcherOpts{})
+			files := []obs.Artifact{
+				{Name: "violations.txt", Data: []byte("rule=no-loss\n")},
+				{Name: "trace.jsonl", Data: []byte(`{"ev":"tx"}` + "\n")},
+			}
+			meta := map[string]string{"scenario": "flap", "seed": "42"}
+			loc, err := s.PutArtifact("flap-0007-seed42", meta, files)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const prefix = "results:"
+			if len(loc) <= len(prefix) || loc[:len(prefix)] != prefix {
+				t.Fatalf("locator %q missing results: prefix", loc)
+			}
+			id := loc[len(prefix):]
+
+			// Re-registering identical artifacts yields the same locator (pure
+			// content addressing) and no second run.
+			loc2, err := s.PutArtifact("flap-0007-seed42", meta, files)
+			if err != nil || loc2 != loc {
+				t.Fatalf("re-put: %q, %v", loc2, err)
+			}
+			if err := s.Batcher.Close(); err != nil {
+				t.Fatal(err)
+			}
+			defer b.Close()
+
+			run, err := b.Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if run.Kind != "artifact" || run.Name != "flap-0007-seed42" {
+				t.Fatalf("run = %+v", run)
+			}
+			if run.Config["scenario"] != "flap" || run.Config["seed"] != "42" {
+				t.Fatalf("meta lost: %v", run.Config)
+			}
+			if len(run.Blobs) != len(files) {
+				t.Fatalf("%d blobs, want %d", len(run.Blobs), len(files))
+			}
+			// Blobs are sorted by name regardless of the order handed in.
+			if run.Blobs[0].Name != "trace.jsonl" || run.Blobs[1].Name != "violations.txt" {
+				t.Fatalf("blob order: %+v", run.Blobs)
+			}
+			for _, ref := range run.Blobs {
+				data, err := b.GetBlob(ref.Addr)
+				if err != nil {
+					t.Fatalf("blob %s: %v", ref.Name, err)
+				}
+				if int64(len(data)) != ref.Size {
+					t.Fatalf("blob %s: %d bytes, ref says %d", ref.Name, len(data), ref.Size)
+				}
+				var want []byte
+				for _, f := range files {
+					if f.Name == ref.Name {
+						want = f.Data
+					}
+				}
+				if !bytes.Equal(data, want) {
+					t.Fatalf("blob %s content mismatch", ref.Name)
+				}
+			}
+			if runs, _ := b.List(); len(runs) != 1 {
+				t.Fatalf("store holds %d runs after idempotent re-put", len(runs))
+			}
+		})
+	}
+}
+
+func TestStoreAddAll(t *testing.T) {
+	s := NewStore(NewMem(), BatcherOpts{})
+	runs := []*Run{testRun(0, 1), testRun(0, 2), testRun(0, 1)}
+	added, err := s.AddAll(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 2 {
+		t.Fatalf("added %d, want 2 (one duplicate)", added)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack := s.Add(goldenRun())
+	if ack.Err != nil || !ack.Added {
+		t.Fatalf("ack = %+v", ack)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := OpenFile(dir, FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Get(ack.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromSnapshot(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("tx").Add(7)
+	reg.Gauge("depth").Set(3)
+	run := FromSnapshot("chaos", "flap", map[string]string{"seed": "1"}, reg.Snapshot())
+	if rec, ok := run.Record("tx"); !ok || rec.Value != 7 || rec.Unit != "count" {
+		t.Fatalf("counter record: %+v ok=%v", rec, ok)
+	}
+	if rec, ok := run.Record("depth"); !ok || rec.Value != 3 || rec.Unit != "gauge" {
+		t.Fatalf("gauge record: %+v ok=%v", rec, ok)
+	}
+	if _, ok := run.Record("depth.hwm"); !ok {
+		t.Fatal("gauge HWM record missing")
+	}
+}
+
+func TestBatcherRegister(t *testing.T) {
+	s := NewStore(NewMem(), BatcherOpts{})
+	reg := obs.NewRegistry()
+	s.Batcher.Register(reg, "results")
+	s.Add(testRun(5, 1))
+	snap := reg.Snapshot()
+	found := map[string]uint64{}
+	for _, c := range snap.Counters {
+		found[c.Name] = c.Value
+	}
+	if found["results.submitted"] != 1 || found["results.committed"] != 1 {
+		t.Fatalf("registered counters: %v", found)
+	}
+	if found["results.enqueue_wait_ns"] == 0 && found["results.commit_ns"] == 0 {
+		t.Fatalf("stage timing counters all zero: %v", found)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -3,10 +3,19 @@
 # (BenchmarkHotPath_PktsPerSec) and the sharded parallel engine on the
 # 4-segment fabric (BenchmarkParHotPath_PktsPerSec) — plus the fleet
 # simulation matrix (BenchmarkFleetPareto: four repair solutions over a
-# 100K-link fleet for one simulated year per iteration) and the live wire
+# 100K-link fleet for one simulated year per iteration), the live wire
 # path (BenchmarkLiveWire_PktsPerSec: dedicated-socket Wires vs the batched
-# shared-socket mux across 8 links), and records the results as
-# BENCH_9.json at the repository root.
+# shared-socket mux across 8 links), and the results-service ingest path
+# (BenchmarkIngestFile/Mem: 64 parallel producers streaming runs through
+# the batching committer into each backend, with the per-stage commit
+# timing breakdown), and records the results as BENCH_10.json at the
+# repository root.
+#
+# Write-through: unless RESULTS_DIR is set empty, the whole BENCH_* history
+# (including the file just written) is imported into the content-addressed
+# results store at $RESULTS_DIR — re-imports deduplicate by content hash,
+# so running this repeatedly is idempotent. Query the longitudinal view
+# with: go run ./cmd/results -dir "$RESULTS_DIR" trend
 #
 # Methodology (stability over the old 5x iteration count):
 #   - time-based -benchtime (default 1s) so every sample aggregates enough
@@ -26,7 +35,8 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1s}"
 COUNT="${COUNT:-3}"
-OUT="${OUT:-BENCH_9.json}"
+OUT="${OUT:-BENCH_10.json}"
+RESULTS_DIR="${RESULTS_DIR-results-store}"
 
 raw="$(go test -run '^$' -bench 'BenchmarkHotPath_PktsPerSec|BenchmarkParHotPath_PktsPerSec' \
     -benchtime "$BENCHTIME" -count "$COUNT" .)"
@@ -43,9 +53,18 @@ echo "$rawfleet"
 rawlive="$(go test -run '^$' -bench 'BenchmarkLiveWire_PktsPerSec' \
     -benchtime "$BENCHTIME" -count "$COUNT" ./internal/live)"
 echo "$rawlive"
+
+# The results-service ingest path: the acceptance gate is >= 100k
+# records/sec through the batcher into the FILE backend on one vCPU, so
+# that benchmark is pinned to GOMAXPROCS=1; the mem backend runs alongside
+# as the no-fsync reference.
+rawingest="$(GOMAXPROCS=1 go test -run '^$' -bench 'BenchmarkIngest' \
+    -benchtime "$BENCHTIME" -count "$COUNT" ./internal/results)"
+echo "$rawingest"
 raw="$raw
 $rawfleet
-$rawlive"
+$rawlive
+$rawingest"
 
 cpus="$(go env GOMAXPROCS 2>/dev/null || true)"
 case "$cpus" in ''|*[!0-9]*) cpus=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1) ;; esac
@@ -93,6 +112,35 @@ emit() {
     printf '  }'
 }
 
+# emit_ingest <json-key> <bench>: one JSON object for a results-ingest
+# benchmark — best/min records/sec plus the per-stage timing breakdown
+# (enqueue wait, batch latch, backend commit, all ns/record) and the mean
+# batch size, taken from the best-throughput perspective (worst stage cost).
+emit_ingest() {
+    local key="$1" name="$2"
+    local rps_best rps_min rps_spread enq latch commit batch
+    rps_best=$(samples "$name" "records/sec" | best)
+    rps_min=$(samples "$name" "records/sec" | worst)
+    rps_spread=$(samples "$name" "records/sec" | spread)
+    enq=$(samples "$name" "enqueue-ns/rec" | best)
+    latch=$(samples "$name" "latch-ns/rec" | best)
+    commit=$(samples "$name" "commit-ns/rec" | best)
+    batch=$(samples "$name" "recs/batch" | best)
+    if [ -z "$rps_best" ]; then
+        echo "bench.sh: no samples for $name" >&2
+        exit 1
+    fi
+    printf '  "%s": {\n' "$key"
+    printf '    "records_per_sec": %.0f,\n' "$rps_best"
+    printf '    "records_per_sec_min": %.0f,\n' "$rps_min"
+    printf '    "spread_pct": %s,\n' "$rps_spread"
+    printf '    "enqueue_wait_ns_per_rec": %.0f,\n' "$enq"
+    printf '    "batch_latch_ns_per_rec": %.0f,\n' "$latch"
+    printf '    "commit_ns_per_rec": %.0f,\n' "$commit"
+    printf '    "records_per_batch": %.1f\n' "$batch"
+    printf '  }'
+}
+
 # Baselines: BENCH_4.json (best-of run of the sequential engine at the end
 # of the zero-allocation PR, same harness). The parallel shards-4 entry is
 # additionally compared against its own shards-1 sample below.
@@ -108,7 +156,7 @@ fi
 
 {
     printf '{\n'
-    printf '  "bench": "BenchmarkHotPath_PktsPerSec + BenchmarkParHotPath_PktsPerSec + BenchmarkFleetPareto + BenchmarkLiveWire_PktsPerSec",\n'
+    printf '  "bench": "BenchmarkHotPath_PktsPerSec + BenchmarkParHotPath_PktsPerSec + BenchmarkFleetPareto + BenchmarkLiveWire_PktsPerSec + BenchmarkIngest",\n'
     printf '  "benchtime": "%s",\n' "$BENCHTIME"
     printf '  "count": %d,\n' "$COUNT"
     printf '  "cpus": %d,\n' "$cpus"
@@ -119,6 +167,8 @@ fi
     emit "live_single_link" "LiveWire_PktsPerSec/single-link-unbatched";  printf ',\n'
     emit "live_unbatched_8" "LiveWire_PktsPerSec/unbatched-8";            printf ',\n'
     emit "live_batched_8" "LiveWire_PktsPerSec/batched-8";                printf ',\n'
+    emit_ingest "ingest_file" "IngestFile";                               printf ',\n'
+    emit_ingest "ingest_mem" "IngestMem";                                 printf ',\n'
     printf '  "fleet_pareto": {\n'
     printf '    "links": 100224,\n'
     printf '    "solutions": 4,\n'
@@ -140,3 +190,10 @@ fi
     printf '}\n'
 } > "$OUT"
 echo "wrote $OUT"
+
+# Write-through: backfill the whole BENCH_* history (re-imports are content-
+# hash dedups, so this is idempotent) and show the longitudinal trend.
+if [ -n "$RESULTS_DIR" ]; then
+    go run ./cmd/results -dir "$RESULTS_DIR" import BENCH_*.json
+    go run ./cmd/results -dir "$RESULTS_DIR" -metric pkts_per_sec trend
+fi
